@@ -1,0 +1,200 @@
+package sensnet
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/geom"
+	"repro/internal/pointprocess"
+	"repro/internal/rgg"
+	"repro/internal/rng"
+	"repro/internal/routing"
+	"repro/internal/tiling"
+	"repro/internal/topo"
+)
+
+// Core geometric types.
+type (
+	// Point is a point in R².
+	Point = geom.Point
+	// Rect is an axis-aligned rectangle.
+	Rect = geom.Rect
+)
+
+// Pt builds a Point.
+func Pt(x, y float64) Point { return geom.Pt(x, y) }
+
+// Box returns the deployment rectangle [0, w] × [0, h].
+func Box(w, h float64) Rect { return geom.Box(w, h) }
+
+// Seed identifies a reproducible random stream.
+type Seed = rng.Seed
+
+// NewRand returns a deterministic generator for the seed — the type the
+// measurement methods (Network.SampleRepStretch, EmptyBoxProbability)
+// expect.
+func NewRand(seed Seed) *rand.Rand { return rng.New(seed) }
+
+// Deploy samples a Poisson(λ) deployment on box — the node placement model
+// of the paper.
+func Deploy(box Rect, lambda float64, seed Seed) []Point {
+	return pointprocess.Poisson(box, lambda, rng.New(seed))
+}
+
+// DeployN places exactly n uniform nodes on box (the binomial process).
+func DeployN(box Rect, n int, seed Seed) []Point {
+	return pointprocess.Binomial(box, n, rng.New(seed))
+}
+
+// Tile geometry specifications.
+type (
+	// UDGSpec parameterizes the UDG-SENS tile geometry.
+	UDGSpec = tiling.UDGSpec
+	// NNSpec parameterizes the NN-SENS tile geometry.
+	NNSpec = tiling.NNSpec
+	// TileCoord identifies a tile.
+	TileCoord = tiling.Coord
+	// GeometryMode selects literal / repaired / relaxed regions.
+	GeometryMode = tiling.GeometryMode
+)
+
+// Geometry modes (see DESIGN.md §2 for the literal-geometry caveat).
+const (
+	GeometryLiteral  = tiling.GeometryLiteral
+	GeometryRepaired = tiling.GeometryRepaired
+	GeometryRelaxed  = tiling.GeometryRelaxed
+)
+
+// DefaultUDGSpec returns the repaired feasible UDG-SENS geometry
+// (a = 3/2, R0 = Re = 1/4, Xe = 1/2).
+func DefaultUDGSpec() UDGSpec { return tiling.DefaultUDGSpec() }
+
+// PaperUDGSpec returns the paper's literal §2.1 geometry (empty relay
+// regions; useful only for the negative experiment).
+func PaperUDGSpec() UDGSpec { return tiling.PaperUDGSpec() }
+
+// RelaxedUDGSpec returns the operational variant with handshake-validated
+// connections on the paper's original tile.
+func RelaxedUDGSpec() UDGSpec { return tiling.RelaxedUDGSpec() }
+
+// PaperNNSpec returns the paper's Theorem 2.4 parameters (k=188, a=0.893).
+func PaperNNSpec() NNSpec { return tiling.PaperNNSpec() }
+
+// Networks.
+type (
+	// Network is a constructed SENS subnetwork.
+	Network = core.Network
+	// Options tunes construction (election protocol, base graph reuse).
+	Options = core.Options
+	// Stats carries construction accounting.
+	Stats = core.Stats
+	// StretchSample is one rep-pair stretch measurement.
+	StretchSample = core.StretchSample
+)
+
+// BuildUDGSens constructs UDG-SENS(2, λ) over pts.
+func BuildUDGSens(pts []Point, box Rect, spec UDGSpec, opt Options) (*Network, error) {
+	return core.BuildUDG(pts, box, spec, opt)
+}
+
+// BuildNNSens constructs NN-SENS(2, k) over pts.
+func BuildNNSens(pts []Point, box Rect, spec NNSpec, opt Options) (*Network, error) {
+	return core.BuildNN(pts, box, spec, opt)
+}
+
+// DistributedResult reports a message-passing construction run.
+type DistributedResult = core.DistributedResult
+
+// BuildUDGSensDistributed runs the Figure 7 construction as an actual
+// message-passing protocol on the discrete-event simulator; the topology is
+// identical to BuildUDGSens with the broadcast election protocol, and the
+// message counts are measured rather than computed.
+func BuildUDGSensDistributed(pts []Point, box Rect, spec UDGSpec) (*DistributedResult, error) {
+	return core.BuildUDGDistributed(pts, box, spec)
+}
+
+// BuildNNSensDistributed is the NN-SENS counterpart of
+// BuildUDGSensDistributed: the §2.2 construction (including the population
+// census for the k/2 cap) as measured message passing.
+func BuildNNSensDistributed(pts []Point, box Rect, spec NNSpec) (*DistributedResult, error) {
+	return core.BuildNNDistributed(pts, box, spec)
+}
+
+// FailureReport quantifies node-failure damage and the rebuilt network.
+type FailureReport = core.FailureReport
+
+// SimulateFailures kills each node independently with probability q,
+// reports the degradation of the standing network, and rebuilds from the
+// survivors with the same geometry.
+func SimulateFailures(n *Network, q float64, seed Seed) (*FailureReport, error) {
+	return core.SimulateFailures(n, q, rng.New(seed))
+}
+
+// DeployGradient samples an inhomogeneous Poisson deployment whose
+// intensity ramps linearly from lambda0 at the left edge of box to lambda1
+// at the right edge.
+func DeployGradient(box Rect, lambda0, lambda1 float64, seed Seed) []Point {
+	g := rng.New(seed)
+	grad := pointprocess.LinearGradient(box, lambda0, lambda1)
+	max := lambda0
+	if lambda1 > max {
+		max = lambda1
+	}
+	return pointprocess.Inhomogeneous(box, grad, max, g)
+}
+
+// Geometric is a geometric graph (positions + CSR adjacency).
+type Geometric = rgg.Geometric
+
+// UDG builds the unit disk graph with connection radius r.
+func UDG(pts []Point, r float64) *Geometric { return rgg.UDG(pts, r) }
+
+// NN builds the undirected k-nearest-neighbor graph.
+func NN(pts []Point, k int) *Geometric { return rgg.NN(pts, k) }
+
+// Baseline topology-control structures (§1.2 related work).
+var (
+	// Gabriel returns the Gabriel graph of a UDG.
+	Gabriel = topo.Gabriel
+	// RelativeNeighborhood returns the RNG of a UDG.
+	RelativeNeighborhood = topo.RelativeNeighborhood
+	// Yao returns the Yao graph of a UDG with the given cone count.
+	Yao = topo.Yao
+	// EMST returns the Euclidean minimum spanning forest of a UDG.
+	EMST = topo.EMST
+)
+
+// RouteResult reports a SENS routing attempt.
+type RouteResult = routing.SensResult
+
+// Route routes a packet between the representatives of two good tiles using
+// the percolated-mesh algorithm of §4.2 (probeBudget ≤ 0 = unlimited).
+func Route(n *Network, from, to TileCoord, probeBudget int) (RouteResult, error) {
+	return routing.RouteOnSens(n, from, to, probeBudget)
+}
+
+// ExperimentTable is a rendered experiment result.
+type ExperimentTable = experiments.Table
+
+// ExperimentConfig tunes experiment runs (seed + scale).
+type ExperimentConfig = experiments.Config
+
+// RunExperiment runs the experiment with the given ID ("E01".."E18");
+// returns nil for unknown IDs.
+func RunExperiment(id string, cfg ExperimentConfig) *ExperimentTable {
+	r := experiments.ByID(id)
+	if r == nil {
+		return nil
+	}
+	return r.Run(cfg)
+}
+
+// ExperimentIDs lists the available experiment IDs in order.
+func ExperimentIDs() []string {
+	out := make([]string, len(experiments.All))
+	for i, r := range experiments.All {
+		out[i] = r.ID
+	}
+	return out
+}

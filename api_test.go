@@ -1,0 +1,142 @@
+package sensnet_test
+
+import (
+	"strings"
+	"testing"
+
+	sensnet "repro"
+)
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	box := sensnet.Box(24, 24)
+	pts := sensnet.Deploy(box, 16, 1)
+	if len(pts) < 1000 {
+		t.Fatalf("deployment too small: %d", len(pts))
+	}
+	net, err := sensnet.BuildUDGSens(pts, box, sensnet.DefaultUDGSpec(), sensnet.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Members) == 0 {
+		t.Fatal("empty network")
+	}
+	if net.MaxDegree() > 4 {
+		t.Errorf("max degree %d", net.MaxDegree())
+	}
+	if !strings.Contains(net.String(), "UDG-SENS") {
+		t.Errorf("String() = %q", net.String())
+	}
+
+	// Route between two good reps.
+	_, coords := net.GoodReps()
+	if len(coords) >= 2 {
+		res, err := sensnet.Route(net, coords[0], coords[len(coords)-1], 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Delivered && res.NodeHops < res.LatticeHops {
+			t.Error("node hops below lattice hops")
+		}
+	}
+}
+
+func TestPublicNNFlow(t *testing.T) {
+	spec := sensnet.PaperNNSpec()
+	box := sensnet.Box(4*spec.TileSide(), 4*spec.TileSide())
+	pts := sensnet.Deploy(box, 1, 2)
+	net, err := sensnet.BuildNNSens(pts, box, spec, sensnet.Options{SkipBase: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Stats.Tiles != 16 {
+		t.Errorf("tiles = %d", net.Stats.Tiles)
+	}
+}
+
+func TestPublicDeployN(t *testing.T) {
+	pts := sensnet.DeployN(sensnet.Box(5, 5), 250, 3)
+	if len(pts) != 250 {
+		t.Errorf("DeployN = %d points", len(pts))
+	}
+}
+
+func TestPublicBaselines(t *testing.T) {
+	pts := sensnet.Deploy(sensnet.Box(10, 10), 3, 4)
+	udg := sensnet.UDG(pts, 1)
+	for name, g := range map[string]*sensnet.Geometric{
+		"gabriel": sensnet.Gabriel(udg),
+		"rng":     sensnet.RelativeNeighborhood(udg),
+		"yao":     sensnet.Yao(udg, 6),
+		"emst":    sensnet.EMST(udg),
+		"nn":      sensnet.NN(pts, 4),
+	} {
+		if g.N != len(pts) {
+			t.Errorf("%s: N = %d", name, g.N)
+		}
+	}
+}
+
+func TestPublicExperimentAccess(t *testing.T) {
+	ids := sensnet.ExperimentIDs()
+	if len(ids) != 18 || ids[0] != "E01" || ids[17] != "E18" {
+		t.Fatalf("ExperimentIDs = %v", ids)
+	}
+	tab := sensnet.RunExperiment("E01", sensnet.ExperimentConfig{Seed: 5, Scale: 0.1})
+	if tab == nil || len(tab.Rows) == 0 {
+		t.Fatal("E01 produced no table")
+	}
+	if sensnet.RunExperiment("E99", sensnet.ExperimentConfig{}) != nil {
+		t.Error("unknown experiment should return nil")
+	}
+}
+
+func TestPublicLiteralGeometryCaveat(t *testing.T) {
+	// The documented negative result must be reachable through the API.
+	box := sensnet.Box(12, 12)
+	pts := sensnet.Deploy(box, 8, 6)
+	net, err := sensnet.BuildUDGSens(pts, box, sensnet.PaperUDGSpec(), sensnet.Options{SkipBase: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Stats.GoodTiles != 0 {
+		t.Error("literal geometry produced good tiles")
+	}
+}
+
+func TestPublicDistributedAndFailures(t *testing.T) {
+	box := sensnet.Box(15, 15)
+	pts := sensnet.Deploy(box, 16, 10)
+	dist, err := sensnet.BuildUDGSensDistributed(pts, box, sensnet.DefaultUDGSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist.MessagesSent == 0 || len(dist.Network.Members) == 0 {
+		t.Error("distributed build degenerate")
+	}
+	rep, err := sensnet.SimulateFailures(dist.Network, 0.1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rebuilt == nil {
+		t.Error("no rebuilt network")
+	}
+}
+
+func TestPublicDeployGradient(t *testing.T) {
+	box := sensnet.Box(20, 10)
+	pts := sensnet.DeployGradient(box, 2, 10, 12)
+	if len(pts) < 800 {
+		t.Fatalf("gradient deployment too small: %d", len(pts))
+	}
+	left, right := 0, 0
+	for _, p := range pts {
+		if p.X < 10 {
+			left++
+		} else {
+			right++
+		}
+	}
+	if left >= right {
+		t.Errorf("gradient not realized: %d vs %d", left, right)
+	}
+}

@@ -1,0 +1,144 @@
+// Benchmarks: one testing.B target per reproduced table/figure (DESIGN.md
+// §4). Each benchmark regenerates its experiment's table at a reduced scale
+// per iteration, so `go test -bench=. -benchmem` exercises every
+// reproduction path and reports its cost. Set -benchtime=1x for a single
+// regeneration per experiment.
+package sensnet_test
+
+import (
+	"testing"
+
+	sensnet "repro"
+)
+
+// benchCfg is the per-iteration configuration: small enough to keep the
+// full suite in minutes, large enough to exercise the real code paths.
+func benchCfg(i int) sensnet.ExperimentConfig {
+	return sensnet.ExperimentConfig{Seed: sensnet.Seed(1000 + i), Scale: 0.2}
+}
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tab := sensnet.RunExperiment(id, benchCfg(i))
+		if tab == nil || len(tab.Rows) == 0 {
+			b.Fatalf("%s produced no table", id)
+		}
+	}
+}
+
+// BenchmarkE01BaseModels regenerates E01: base model sanity (Poisson, UDG
+// mean degree law, NN degree bounds).
+func BenchmarkE01BaseModels(b *testing.B) { runExperiment(b, "E01") }
+
+// BenchmarkE02SitePc regenerates E02: site-percolation crossing
+// probabilities and the p_c estimate (paper §2, reference 0.5927).
+func BenchmarkE02SitePc(b *testing.B) { runExperiment(b, "E02") }
+
+// BenchmarkE03ChemicalDistance regenerates E03: chemical-distance
+// concentration (Lemma 1.1, Antal–Pisztora).
+func BenchmarkE03ChemicalDistance(b *testing.B) { runExperiment(b, "E03") }
+
+// BenchmarkE04UDGClaim regenerates E04: UDG-SENS goodness across geometry
+// modes and the Claim 2.1 path bound (Figures 1–4).
+func BenchmarkE04UDGClaim(b *testing.B) { runExperiment(b, "E04") }
+
+// BenchmarkE05LambdaS regenerates E05: the Theorem 2.2 threshold λs and the
+// direct λc estimate.
+func BenchmarkE05LambdaS(b *testing.B) { runExperiment(b, "E05") }
+
+// BenchmarkE06NNClaim regenerates E06: NN-SENS goodness at paper parameters
+// and the Claim 2.3 path bound (Figures 5–6).
+func BenchmarkE06NNClaim(b *testing.B) { runExperiment(b, "E06") }
+
+// BenchmarkE07KS regenerates E07: the Theorem 2.4 threshold ks with tuned
+// tile scale, plus the direct kc estimate.
+func BenchmarkE07KS(b *testing.B) { runExperiment(b, "E07") }
+
+// BenchmarkE08Stretch regenerates E08: Theorem 3.2 constant stretch.
+func BenchmarkE08Stretch(b *testing.B) { runExperiment(b, "E08") }
+
+// BenchmarkE09Coverage regenerates E09: Theorem 3.3 coverage decay.
+func BenchmarkE09Coverage(b *testing.B) { runExperiment(b, "E09") }
+
+// BenchmarkE10Sparsity regenerates E10: property P1 degree distributions.
+func BenchmarkE10Sparsity(b *testing.B) { runExperiment(b, "E10") }
+
+// BenchmarkE11Power regenerates E11: Li–Wan–Wang power stretch bound.
+func BenchmarkE11Power(b *testing.B) { runExperiment(b, "E11") }
+
+// BenchmarkE12Routing regenerates E12: §4.2 routing probes vs optimal
+// (Figure 9 algorithm; Figure 8 expansion).
+func BenchmarkE12Routing(b *testing.B) { runExperiment(b, "E12") }
+
+// BenchmarkE13Construction regenerates E13: §4.1 construction cost / P4
+// (Figure 7 pipeline with both election protocols).
+func BenchmarkE13Construction(b *testing.B) { runExperiment(b, "E13") }
+
+// BenchmarkE14Baselines regenerates E14: SENS vs Gabriel/RNG/Yao/EMST/k-NN.
+func BenchmarkE14Baselines(b *testing.B) { runExperiment(b, "E14") }
+
+// Component-level benchmarks: the two constructions end to end.
+
+func BenchmarkBuildUDGSens(b *testing.B) {
+	box := sensnet.Box(24, 24)
+	pts := sensnet.Deploy(box, 16, 7)
+	spec := sensnet.DefaultUDGSpec()
+	b.ReportMetric(float64(len(pts)), "points")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sensnet.BuildUDGSens(pts, box, spec, sensnet.Options{SkipBase: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildNNSens(b *testing.B) {
+	spec := sensnet.PaperNNSpec()
+	box := sensnet.Box(4*spec.TileSide(), 4*spec.TileSide())
+	pts := sensnet.Deploy(box, 1, 8)
+	b.ReportMetric(float64(len(pts)), "points")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sensnet.BuildNNSens(pts, box, spec, sensnet.Options{SkipBase: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRouteOnSens(b *testing.B) {
+	box := sensnet.Box(30, 30)
+	pts := sensnet.Deploy(box, 16, 9)
+	net, err := sensnet.BuildUDGSens(pts, box, sensnet.DefaultUDGSpec(), sensnet.Options{SkipBase: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, coords := net.GoodReps()
+	if len(coords) < 2 {
+		b.Skip("no routable pairs")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from := coords[i%len(coords)]
+		to := coords[(i*7+3)%len(coords)]
+		if _, err := sensnet.Route(net, from, to, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE15AblationGeometry regenerates E15: the repaired-geometry
+// parameter sweep and λs optimizer (the paper's future-work item).
+func BenchmarkE15AblationGeometry(b *testing.B) { runExperiment(b, "E15") }
+
+// BenchmarkE16AblationRelaxed regenerates E16: handshake-failure rates of
+// the as-written Figure 7 algorithm on the paper's original tile.
+func BenchmarkE16AblationRelaxed(b *testing.B) { runExperiment(b, "E16") }
+
+// BenchmarkE17FaultTolerance regenerates E17: failure degradation and the
+// rebuild threshold crossover.
+func BenchmarkE17FaultTolerance(b *testing.B) { runExperiment(b, "E17") }
+
+// BenchmarkE18DensityGradient regenerates E18: construction under an
+// inhomogeneous deployment.
+func BenchmarkE18DensityGradient(b *testing.B) { runExperiment(b, "E18") }

@@ -1,0 +1,64 @@
+// Command experiments regenerates the paper-reproduction tables (DESIGN.md
+// §4, EXPERIMENTS.md). Each experiment E01–E18 backs one theorem, claim or
+// numeric bound of the paper.
+//
+// Usage:
+//
+//	experiments                  # run everything at full scale
+//	experiments -run E05,E07     # just the threshold experiments
+//	experiments -scale 0.2       # quick pass
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/rng"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "all", "comma-separated experiment IDs (e.g. E05,E07) or 'all'")
+		scale = flag.Float64("scale", 1.0, "trial/size multiplier (1 = EXPERIMENTS.md scale)")
+		seed  = flag.Uint64("seed", 2026, "random seed")
+		list  = flag.Bool("list", false, "list available experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.All {
+			fmt.Printf("%s  %s\n", r.ID, r.Title)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Seed: rng.Seed(*seed), Scale: *scale}
+	var selected []experiments.Runner
+	if *run == "all" {
+		selected = experiments.All
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			id = strings.TrimSpace(id)
+			r := experiments.ByID(id)
+			if r == nil {
+				fmt.Fprintf(os.Stderr, "experiments: unknown id %q (use -list)\n", id)
+				os.Exit(1)
+			}
+			selected = append(selected, *r)
+		}
+	}
+
+	for i, r := range selected {
+		if i > 0 {
+			fmt.Println()
+		}
+		start := time.Now()
+		table := r.Run(cfg)
+		fmt.Print(table.String())
+		fmt.Printf("(%s in %v)\n", r.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,126 @@
+// Command percolate explores site percolation on Z² — the discrete process
+// the paper couples its constructions to (§2). It estimates crossing
+// probabilities, θ(p), the critical probability, and chemical-distance
+// ratios.
+//
+// Usage:
+//
+//	percolate -n 64 -p 0.6            # crossing probability and θ at p
+//	percolate -n 64 -pc               # bisection estimate of p_c
+//	percolate -n 128 -p 0.75 -chem    # chemical distance ratios
+//	percolate -n 32 -p 0.65 -draw     # render one configuration
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lattice"
+	"repro/internal/rng"
+	"repro/internal/routing"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		n      = flag.Int("n", 64, "lattice side")
+		p      = flag.Float64("p", 0.6, "site-open probability")
+		trials = flag.Int("trials", 400, "Monte-Carlo trials")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		doPc   = flag.Bool("pc", false, "estimate p_c by bisection")
+		chem   = flag.Bool("chem", false, "measure chemical-distance ratios at p")
+		route  = flag.Bool("route", false, "run x–y routing trials at p")
+		draw   = flag.Bool("draw", false, "render one configuration")
+	)
+	flag.Parse()
+	g := rng.New(rng.Seed(*seed))
+
+	switch {
+	case *doPc:
+		pc := lattice.EstimatePc(*n, *trials, 20, g)
+		fmt.Printf("p_c estimate on %dx%d (%d trials/step): %.4f (reference %.6f)\n",
+			*n, *n, *trials, pc, lattice.SitePcReference)
+	case *chem:
+		l := lattice.Sample(*n, *n, *p, g)
+		giant := l.LargestCluster()
+		if len(giant) < 10 {
+			fmt.Println("giant cluster too small — subcritical p?")
+			os.Exit(1)
+		}
+		var ratios []float64
+		for i := 0; i < *trials; i++ {
+			a := giant[g.IntN(len(giant))]
+			b := giant[g.IntN(len(giant))]
+			ax, ay := l.XY(a)
+			bx, by := l.XY(b)
+			d := lattice.L1(ax, ay, bx, by)
+			if d < 4 {
+				continue
+			}
+			if dp := l.ChemicalDistance(ax, ay, bx, by); dp >= 0 {
+				ratios = append(ratios, float64(dp)/float64(d))
+			}
+		}
+		s := stats.Summarize(ratios)
+		fmt.Printf("chemical distance Dp/D at p=%.3f over %d pairs: %v\n", *p, s.N, s)
+	case *route:
+		l := lattice.Sample(*n, *n, *p, g)
+		giant := l.LargestCluster()
+		if len(giant) < 10 {
+			fmt.Println("giant cluster too small — subcritical p?")
+			os.Exit(1)
+		}
+		var ratios []float64
+		delivered := 0
+		for i := 0; i < *trials; i++ {
+			a := giant[g.IntN(len(giant))]
+			b := giant[g.IntN(len(giant))]
+			ax, ay := l.XY(a)
+			bx, by := l.XY(b)
+			opt := l.ChemicalDistance(ax, ay, bx, by)
+			if opt < 2 {
+				continue
+			}
+			res := routing.RouteXY(l, ax, ay, bx, by, 0)
+			if res.Delivered {
+				delivered++
+				ratios = append(ratios, float64(res.Probes)/float64(opt))
+			}
+		}
+		fmt.Printf("routing at p=%.3f: %d delivered, probes/optimal %v\n",
+			*p, delivered, stats.Summarize(ratios))
+	default:
+		cross := lattice.CrossingProbability(*n, *p, *trials, g)
+		theta := lattice.Theta(*n, *p, max(*trials/10, 5), g)
+		fmt.Printf("n=%d p=%.4f: P(crossing) = %v, θ ≈ %.4f\n", *n, *p, cross, theta.Mean)
+	}
+
+	if *draw {
+		l := lattice.Sample(*n, *n, *p, g)
+		fmt.Print(render(l))
+	}
+}
+
+func render(l *lattice.Lattice) string {
+	var b strings.Builder
+	for y := l.H - 1; y >= 0; y-- {
+		for x := 0; x < l.W; x++ {
+			if l.IsOpen(x, y) {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

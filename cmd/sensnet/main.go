@@ -1,0 +1,190 @@
+// Command sensnet builds a SENS network over a random deployment and
+// reports its structure — the quickest way to see the paper's construction
+// on real numbers.
+//
+// Usage:
+//
+//	sensnet -kind udg -lambda 16 -side 30 -seed 1
+//	sensnet -kind udg -mode relaxed -lambda 4 -render
+//	sensnet -kind nn -k 188 -a 0.893 -tiles 5 -json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	sensnet "repro"
+	"repro/internal/tiling"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "udg", "construction: udg | nn")
+		mode    = flag.String("mode", "repaired", "UDG geometry: literal | repaired | relaxed")
+		lambda  = flag.Float64("lambda", 16, "Poisson intensity (udg; nn uses λ=1)")
+		side    = flag.Float64("side", 30, "deployment box side (udg)")
+		k       = flag.Int("k", 188, "NN parameter k")
+		a       = flag.Float64("a", 0.893, "NN tile scale a (tile side = 10a)")
+		tiles   = flag.Int("tiles", 5, "NN: box side in tiles")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		asJSON  = flag.Bool("json", false, "emit JSON summary")
+		render  = flag.Bool("render", false, "render the tile map (good/bad) as ASCII")
+		tilefig = flag.Bool("tilefig", false, "render the tile region layout (paper Fig. 3 / Fig. 5) and exit")
+	)
+	flag.Parse()
+
+	if *tilefig {
+		switch *kind {
+		case "udg":
+			var spec sensnet.UDGSpec
+			switch *mode {
+			case "literal":
+				spec = sensnet.PaperUDGSpec()
+			case "repaired":
+				spec = sensnet.DefaultUDGSpec()
+			case "relaxed":
+				spec = sensnet.RelaxedUDGSpec()
+			default:
+				fatalf("unknown -mode %q", *mode)
+			}
+			fmt.Printf("UDG-SENS tile (%s geometry, paper Fig. 3): C=C0, r/l/t/b=relay regions\n\n", *mode)
+			fmt.Print(tiling.RenderUDGTile(spec, 64))
+		case "nn":
+			spec := sensnet.NNSpec{A: *a, K: *k}
+			fmt.Printf("NN-SENS tile (a=%v, paper Fig. 5): C=C0, R/L/T/B=outer disks, r/l/t/b=bridges\n\n", *a)
+			fmt.Print(tiling.RenderNNTile(spec.Compile(), 72))
+		default:
+			fatalf("unknown -kind %q", *kind)
+		}
+		return
+	}
+
+	var (
+		net *sensnet.Network
+		err error
+	)
+	switch *kind {
+	case "udg":
+		var spec sensnet.UDGSpec
+		switch *mode {
+		case "literal":
+			spec = sensnet.PaperUDGSpec()
+		case "repaired":
+			spec = sensnet.DefaultUDGSpec()
+		case "relaxed":
+			spec = sensnet.RelaxedUDGSpec()
+		default:
+			fatalf("unknown -mode %q", *mode)
+		}
+		box := sensnet.Box(*side, *side)
+		pts := sensnet.Deploy(box, *lambda, sensnet.Seed(*seed))
+		net, err = sensnet.BuildUDGSens(pts, box, spec, sensnet.Options{})
+	case "nn":
+		spec := sensnet.NNSpec{A: *a, K: *k}
+		boxSide := float64(*tiles) * spec.TileSide()
+		box := sensnet.Box(boxSide, boxSide)
+		pts := sensnet.Deploy(box, 1, sensnet.Seed(*seed))
+		net, err = sensnet.BuildNNSens(pts, box, spec, sensnet.Options{})
+	default:
+		fatalf("unknown -kind %q", *kind)
+	}
+	if err != nil {
+		fatalf("build: %v", err)
+	}
+
+	if *asJSON {
+		emitJSON(net)
+	} else {
+		emitText(net)
+	}
+	if *render {
+		fmt.Println()
+		fmt.Print(renderTiles(net))
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sensnet: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+type summary struct {
+	Kind             string  `json:"kind"`
+	Points           int     `json:"points"`
+	Tiles            int     `json:"tiles"`
+	GoodTiles        int     `json:"goodTiles"`
+	GoodFraction     float64 `json:"goodFraction"`
+	Members          int     `json:"members"`
+	ActiveFraction   float64 `json:"activeFraction"`
+	Edges            int     `json:"edges"`
+	MaxDegree        int     `json:"maxDegree"`
+	ElectionMessages int     `json:"electionMessages"`
+	ElectionRounds   int     `json:"electionRounds"`
+	HandshakeFails   int     `json:"handshakeFailures"`
+	DegreeHistogram  []int   `json:"degreeHistogram"`
+}
+
+func summarize(net *sensnet.Network) summary {
+	return summary{
+		Kind:             net.Kind.String(),
+		Points:           len(net.Pts),
+		Tiles:            net.Stats.Tiles,
+		GoodTiles:        net.Stats.GoodTiles,
+		GoodFraction:     net.GoodFraction(),
+		Members:          len(net.Members),
+		ActiveFraction:   net.ActiveFraction(),
+		Edges:            net.Stats.SubgraphEdges,
+		MaxDegree:        net.MaxDegree(),
+		ElectionMessages: net.Stats.ElectionMessages,
+		ElectionRounds:   net.Stats.ElectionRounds,
+		HandshakeFails:   net.Stats.HandshakeFailures,
+		DegreeHistogram:  net.DegreeHistogram(),
+	}
+}
+
+func emitJSON(net *sensnet.Network) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(summarize(net)); err != nil {
+		fatalf("encode: %v", err)
+	}
+}
+
+func emitText(net *sensnet.Network) {
+	s := summarize(net)
+	fmt.Printf("%s\n", net)
+	fmt.Printf("  deployment:        %d points\n", s.Points)
+	fmt.Printf("  tiles:             %d (%d good, %.1f%%)\n", s.Tiles, s.GoodTiles, 100*s.GoodFraction)
+	fmt.Printf("  network members:   %d (%.1f%% of deployment)\n", s.Members, 100*s.ActiveFraction)
+	fmt.Printf("  edges:             %d\n", s.Edges)
+	fmt.Printf("  max degree:        %d (P1 bound: 4)\n", s.MaxDegree)
+	fmt.Printf("  degree histogram:  %v\n", s.DegreeHistogram)
+	fmt.Printf("  election cost:     %d messages, %d rounds (P4)\n", s.ElectionMessages, s.ElectionRounds)
+	if s.HandshakeFails > 0 {
+		fmt.Printf("  handshake fails:   %d (relaxed mode)\n", s.HandshakeFails)
+	}
+}
+
+// renderTiles draws the mapped tile window: '#' good tile, '.' bad tile —
+// the percolation configuration of the paper's Figure 2.
+func renderTiles(net *sensnet.Network) string {
+	if net.Lat == nil {
+		return "(no mapped tiles)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "tile map (%dx%d, '#'=good/open, '.'=bad/closed):\n", net.Lat.W, net.Lat.H)
+	for y := net.Lat.H - 1; y >= 0; y-- {
+		for x := 0; x < net.Lat.W; x++ {
+			if net.Lat.IsOpen(x, y) {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,40 @@
+// Package sensnet is the public API of a reproduction of
+//
+//	Amitabha Bagchi, "Sparse power-efficient topologies for wireless ad hoc
+//	sensor networks" (IPPS 2010, arXiv:0805.4060).
+//
+// The paper's insight is that a wireless ad hoc *sensor* network does not
+// need every node connected: it needs a connected subnetwork that covers
+// the sensed region. sensnet builds that subnetwork — UDG-SENS(2, λ) over a
+// unit disk graph, or NN-SENS(2, k) over a k-nearest-neighbor graph — from
+// a Poisson deployment, using only node positions and one-hop communication
+// (leader elections inside geometric tile regions), and couples it to site
+// percolation on Z² to obtain sparsity (max degree 4), constant stretch,
+// exponential coverage guarantees and O(shortest-path) routing.
+//
+// # Quick start
+//
+//	seed := sensnet.Seed(1)
+//	box := sensnet.Box(30, 30)
+//	pts := sensnet.Deploy(box, 16, seed) // Poisson(λ=16) deployment
+//	net, err := sensnet.BuildUDGSens(pts, box, sensnet.DefaultUDGSpec(), sensnet.Options{})
+//	if err != nil { ... }
+//	fmt.Println(net) // tiles, members, degree, coverage
+//
+// Routing between tile representatives follows the percolated-mesh
+// algorithm of Angel et al. (§4.2 of the paper):
+//
+//	res, err := sensnet.Route(net, fromTile, toTile, 0)
+//
+// The geometry caveat documented in DESIGN.md §2 applies: the paper's
+// literal UDG relay regions are empty, so DefaultUDGSpec returns a repaired
+// feasible parameterization; PaperUDGSpec preserves the literal geometry
+// for the negative experiment.
+//
+// Everything underneath — geometry, Poisson processes, spatial indexes,
+// graphs, site percolation, tile regions, elections, routing, baselines,
+// statistics — is implemented from scratch on the Go standard library in
+// the internal/ packages, and every quantitative claim of the paper has an
+// experiment driver (internal/experiments, surfaced via RunExperiment and
+// cmd/experiments).
+package sensnet

@@ -1,0 +1,62 @@
+// Quickstart: deploy a Poisson sensor field, build UDG-SENS(2, λ), inspect
+// the paper's four properties (P1–P4) on the result, and route a packet
+// between two tile representatives.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sensnet "repro"
+)
+
+func main() {
+	// 1. Deploy. λ = 16 is above the repaired geometry's threshold
+	//    λs ≈ 11.7, so the good tiles percolate.
+	box := sensnet.Box(30, 30)
+	pts := sensnet.Deploy(box, 16, sensnet.Seed(7))
+	fmt.Printf("deployed %d sensors on %.0f×%.0f\n", len(pts), box.Width(), box.Height())
+
+	// 2. Build the sparse subnetwork. The construction is the distributed
+	//    Figure 7 pipeline: tile identification → region classification →
+	//    leader election → connect.
+	net, err := sensnet.BuildUDGSens(pts, box, sensnet.DefaultUDGSpec(), sensnet.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(net)
+
+	// 3. The paper's properties on this realization.
+	fmt.Printf("P1 sparsity:     max degree %d (bound 4)\n", net.MaxDegree())
+	fmt.Printf("P3 coverage:     %d/%d tiles good (%.1f%%), %.1f%% of nodes active\n",
+		net.Stats.GoodTiles, net.Stats.Tiles, 100*net.GoodFraction(), 100*net.ActiveFraction())
+	fmt.Printf("P4 local setup:  %d election messages (%.2f per node), %d rounds\n",
+		net.Stats.ElectionMessages,
+		float64(net.Stats.ElectionMessages)/float64(len(pts)), net.Stats.ElectionRounds)
+
+	// P2 stretch: sample representative pairs and report the worst ratio of
+	// network path length to straight-line distance.
+	samples := net.SampleRepStretch(50, sensnet.NewRand(11))
+	worst := 1.0
+	for _, s := range samples {
+		if st := s.Stretch(); st > worst {
+			worst = st
+		}
+	}
+	fmt.Printf("P2 stretch:      worst of %d sampled rep pairs = %.2f× Euclidean\n",
+		len(samples), worst)
+
+	// 4. Route a packet between two far-apart good tiles using the
+	//    percolated-mesh algorithm (§4.2).
+	_, coords := net.GoodReps()
+	if len(coords) < 2 {
+		log.Fatal("network too small to route")
+	}
+	from, to := coords[0], coords[len(coords)-1]
+	res, err := sensnet.Route(net, from, to, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("route %v → %v: delivered=%v, %d tile hops, %d node hops, %d probes\n",
+		from, to, res.Delivered, res.LatticeHops, res.NodeHops, res.Probes)
+}

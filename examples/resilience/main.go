@@ -1,0 +1,51 @@
+// Resilience: the redundancy argument of the paper's introduction, run as a
+// lifetime simulation. Sensors die over time (battery exhaustion, damage);
+// the standing SENS topology fragments quickly — every elected node matters
+// — but because only ~10% of deployed nodes are members, re-running the
+// local construction on the survivors keeps restoring a healthy network
+// until the surviving density (1−q)·λ crosses the threshold λs ≈ 11.76.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sensnet "repro"
+)
+
+func main() {
+	const lambda = 18.0
+	box := sensnet.Box(28, 28)
+	pts := sensnet.Deploy(box, lambda, sensnet.Seed(42))
+	net, err := sensnet.BuildUDGSens(pts, box, sensnet.DefaultUDGSpec(),
+		sensnet.Options{SkipBase: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(net)
+	fmt.Printf("threshold: rebuild stays healthy while (1−q)·λ > λs ≈ 11.76 "+
+		"→ q < %.2f\n\n", 1-11.76/lambda)
+
+	fmt.Printf("%8s %12s %22s %18s %14s\n",
+		"fail q", "(1−q)·λ", "standing largest frac", "rebuilt good frac", "verdict")
+	for _, q := range []float64{0.05, 0.15, 0.25, 0.35, 0.45, 0.55} {
+		rep, err := sensnet.SimulateFailures(net, q, sensnet.Seed(uint64(q*100)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "collapsed"
+		if rep.Rebuilt.GoodFraction() > 0.5927 {
+			verdict = "healthy"
+		}
+		fmt.Printf("%8.2f %12.1f %22.3f %18.3f %14s\n",
+			q, lambda*(1-q), rep.SurvivingFraction,
+			rep.Rebuilt.GoodFraction(), verdict)
+	}
+
+	fmt.Println("\nreading the table:")
+	fmt.Println(" - the standing network loses most of its connectivity even at")
+	fmt.Println("   small q: elected reps/relays are single points of failure")
+	fmt.Println(" - a local rebuild (re-run of Figure 7 on survivors) restores the")
+	fmt.Println("   network while the surviving density clears λs — redundancy is")
+	fmt.Println("   exactly the failure budget the density margin pays for")
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/tiling"
+)
+
+func TestDetectComponentsSizesMatchGraph(t *testing.T) {
+	n := buildTestUDG(t, 40, 16, 24)
+	rep := n.DetectComponents(0)
+
+	// Ground truth: component sizes of the rep/relay graph restricted to
+	// connected (degree > 0) vertices.
+	labels, sizes := graph.Components(n.Graph)
+	want := map[int32]int{} // leader (max id) → size
+	leaderOf := map[int32]int32{}
+	for u := int32(0); int(u) < n.Graph.N; u++ {
+		if n.Graph.Degree(u) == 0 {
+			continue
+		}
+		l := labels[u]
+		if u > leaderOf[l] {
+			leaderOf[l] = u
+		}
+	}
+	for u := int32(0); int(u) < n.Graph.N; u++ {
+		if n.Graph.Degree(u) == 0 {
+			continue
+		}
+		want[leaderOf[labels[u]]] = sizes[labels[u]]
+	}
+	if len(rep.ComponentSizes) != len(want) {
+		t.Fatalf("component count: protocol %d vs graph %d",
+			len(rep.ComponentSizes), len(want))
+	}
+	for leader, size := range want {
+		if got := rep.ComponentSizes[leader]; got != size {
+			t.Fatalf("component of leader %d: protocol size %d vs true %d",
+				leader, got, size)
+		}
+	}
+	if rep.MessagesSent == 0 || rep.MessagesSent != rep.MessagesDelivered {
+		t.Errorf("message accounting: %d/%d", rep.MessagesSent, rep.MessagesDelivered)
+	}
+}
+
+func TestDetectComponentsTurnOff(t *testing.T) {
+	n := buildTestUDG(t, 41, 16, 24)
+	// Threshold above everything: every connected node turns off.
+	all := n.DetectComponents(1 << 30)
+	offCount := 0
+	for u := int32(0); int(u) < n.Graph.N; u++ {
+		if n.Graph.Degree(u) > 0 {
+			offCount++
+		}
+	}
+	if len(all.Off) != offCount {
+		t.Errorf("huge threshold: off %d want %d", len(all.Off), offCount)
+	}
+	// Threshold 0: nobody turns off.
+	none := n.DetectComponents(0)
+	if len(none.Off) != 0 {
+		t.Errorf("zero threshold: off %d want 0", len(none.Off))
+	}
+	// Threshold = largest component size: exactly the non-members among
+	// connected nodes turn off — the paper's §4.1 sketch realized.
+	cut := n.DetectComponents(len(n.Members))
+	for _, u := range cut.Off {
+		if n.InNet[u] {
+			t.Fatalf("member %d turned itself off", u)
+		}
+	}
+	wantOff := 0
+	for u := int32(0); int(u) < n.Graph.N; u++ {
+		if n.Graph.Degree(u) > 0 && !n.InNet[u] {
+			wantOff++
+		}
+	}
+	if len(cut.Off) != wantOff {
+		t.Errorf("threshold=|largest|: off %d want %d", len(cut.Off), wantOff)
+	}
+}
+
+func TestDetectComponentsEmptyNetwork(t *testing.T) {
+	n, err := BuildUDG(nil, geom.Box(6, 6), tiling.DefaultUDGSpec(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := n.DetectComponents(5)
+	if len(rep.ComponentSizes) != 0 || len(rep.Off) != 0 || rep.MessagesSent != 0 {
+		t.Errorf("empty network detection: %+v", rep)
+	}
+}

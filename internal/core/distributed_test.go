@@ -1,0 +1,135 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/election"
+	"repro/internal/geom"
+	"repro/internal/pointprocess"
+	"repro/internal/rng"
+	"repro/internal/tiling"
+)
+
+// TestDistributedMatchesCentralized is the strongest P4 statement in the
+// repository: the message-passing protocol (nodes acting only on their own
+// position and received messages) produces byte-for-byte the same network
+// as the centralized pipeline.
+func TestDistributedMatchesCentralized(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		spec   tiling.UDGSpec
+		lambda float64
+	}{
+		{"repaired", tiling.DefaultUDGSpec(), 16},
+		{"relaxed", tiling.RelaxedUDGSpec(), 5},
+		{"literal", tiling.PaperUDGSpec(), 8},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g := rng.New(11)
+			box := geom.Box(18, 18)
+			pts := pointprocess.Poisson(box, tc.lambda, g)
+			central, err := BuildUDG(pts, box, tc.spec, Options{
+				Election: election.AlgorithmBroadcast,
+				SkipBase: tc.spec.Mode == tiling.GeometryRepaired,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			dist, err := BuildUDGDistributed(pts, box, tc.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dn := dist.Network
+
+			if dn.Stats.GoodTiles != central.Stats.GoodTiles {
+				t.Fatalf("good tiles: distributed %d vs centralized %d",
+					dn.Stats.GoodTiles, central.Stats.GoodTiles)
+			}
+			// Per-tile leaders agree for good tiles.
+			for c, ct := range central.Tiles {
+				dt, ok := dn.Tiles[c]
+				if ct.Good != (ok && dt.Good) {
+					t.Fatalf("tile %v goodness mismatch", c)
+				}
+				if !ct.Good {
+					continue
+				}
+				if dt.Rep != ct.Rep {
+					t.Fatalf("tile %v rep: distributed %d vs %d", c, dt.Rep, ct.Rep)
+				}
+				for d := range ct.Bridge {
+					if dt.Bridge[d] != ct.Bridge[d] {
+						t.Fatalf("tile %v relay %d: distributed %d vs %d",
+							c, d, dt.Bridge[d], ct.Bridge[d])
+					}
+				}
+			}
+			// Identical edge sets.
+			if dn.Graph.EdgeCount != central.Graph.EdgeCount {
+				t.Fatalf("edges: distributed %d vs centralized %d",
+					dn.Graph.EdgeCount, central.Graph.EdgeCount)
+			}
+			for u := int32(0); int(u) < central.Graph.N; u++ {
+				for _, v := range central.Graph.Neighbors(u) {
+					if !dn.Graph.HasEdge(u, v) {
+						t.Fatalf("centralized edge (%d,%d) missing from distributed", u, v)
+					}
+				}
+			}
+			// Identical member sets.
+			if len(dn.Members) != len(central.Members) {
+				t.Fatalf("members: distributed %d vs centralized %d",
+					len(dn.Members), len(central.Members))
+			}
+			for i := range dn.Members {
+				if dn.Members[i] != central.Members[i] {
+					t.Fatalf("member list diverges at %d", i)
+				}
+			}
+		})
+	}
+}
+
+func TestDistributedMessageAccounting(t *testing.T) {
+	g := rng.New(12)
+	box := geom.Box(15, 15)
+	pts := pointprocess.Poisson(box, 16, g)
+	dist, err := BuildUDGDistributed(pts, box, tiling.DefaultUDGSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist.MessagesSent == 0 || dist.MessagesSent != dist.MessagesDelivered {
+		t.Errorf("message accounting: sent %d delivered %d",
+			dist.MessagesSent, dist.MessagesDelivered)
+	}
+	// Election broadcast dominates: messages must be at least the sum of
+	// m(m−1) over regions, and the per-node cost must be O(1)-ish.
+	perNode := float64(dist.MessagesSent) / float64(len(pts))
+	if perNode > 20 {
+		t.Errorf("messages per node %v — locality (P4) violated?", perNode)
+	}
+	if dist.Duration <= 0 {
+		t.Errorf("duration = %v", dist.Duration)
+	}
+}
+
+func TestDistributedRejectsInvalidSpec(t *testing.T) {
+	bad := tiling.DefaultUDGSpec()
+	bad.Re = 0.5
+	if _, err := BuildUDGDistributed(nil, geom.Box(5, 5), bad); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
+func TestDistributedEmptyDeployment(t *testing.T) {
+	dist, err := BuildUDGDistributed(nil, geom.Box(6, 6), tiling.DefaultUDGSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist.Network.Stats.GoodTiles != 0 || len(dist.Network.Members) != 0 {
+		t.Error("empty deployment should give empty network")
+	}
+	if dist.MessagesSent != 0 {
+		t.Errorf("empty deployment sent %d messages", dist.MessagesSent)
+	}
+}

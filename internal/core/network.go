@@ -1,0 +1,234 @@
+// Package sens implements the paper's primary contribution: the sparse
+// power-efficient subnetwork constructions UDG-SENS(2, λ) and NN-SENS(2, k)
+// (§2), built by the distributed algorithm of §4.1 (Figure 7):
+//
+//  1. each node locates its tile from position information,
+//  2. each node classifies itself into a tile region,
+//  3. each region elects a leader (representative or relay),
+//  4. leaders connect to form the rep–relay–relay–rep paths between
+//     adjacent good tiles.
+//
+// The resulting network couples to site percolation on Z² through
+// tiling.Map: a site is open iff its tile is good, and the SENS subgraph
+// realizes the open edges of the percolated mesh (Figures 2, 4, 6, 8).
+// The sensing network proper is the largest connected component of the
+// rep/relay graph, per the paper's definition.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/election"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/lattice"
+	"repro/internal/rgg"
+	"repro/internal/tiling"
+)
+
+// Kind distinguishes the two constructions.
+type Kind int
+
+// The two SENS constructions of the paper.
+const (
+	KindUDG Kind = iota
+	KindNN
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k == KindUDG {
+		return "UDG-SENS"
+	}
+	return "NN-SENS"
+}
+
+// TileNodes records the elected nodes of one mapped tile. Indices refer to
+// the deployment point slice; −1 means "no point elected".
+type TileNodes struct {
+	Good       bool
+	Population int
+	Rep        int32
+	// Bridge holds, per direction, the relay adjacent to the representative:
+	// the UDG edge relay (regions E_l/E_r/E_t/E_b of §2.1) or the NN bridge
+	// relay (regions E_* of §2.2).
+	Bridge [4]int32
+	// Disk holds, per direction, the NN outer-disk relay (regions C_* of
+	// §2.2); unused (−1) for UDG-SENS.
+	Disk [4]int32
+}
+
+// Stats aggregates construction-time accounting.
+type Stats struct {
+	Tiles             int // mapped tiles
+	GoodTiles         int
+	ElectionMessages  int // total messages across all region elections
+	ElectionRounds    int // max rounds over regions (they run in parallel)
+	HandshakeAttempts int // connect() calls attempted
+	HandshakeFailures int // connect() calls that failed (relaxed mode)
+	SubgraphEdges     int // edges of the rep/relay graph
+	MissingBaseEdges  int // SENS edges absent from the base graph
+}
+
+// Network is a constructed SENS subnetwork together with its coupling data.
+type Network struct {
+	Kind Kind
+	// Pts are all deployment points (the Poisson process realization).
+	Pts []geom.Point
+	// Box is the deployment region.
+	Box geom.Rect
+	// Map is the tile ↔ Z² bijection φ restricted to the full tiles of Box.
+	Map tiling.Map
+	// Base is the underlying UDG(2, λ) or NN(2, k) graph (nil when skipped).
+	Base *rgg.Geometric
+	// Tiles holds the per-tile election results for mapped tiles.
+	Tiles map[tiling.Coord]*TileNodes
+	// Lat is the coupled site-percolation configuration: site (x, y) open
+	// iff tile φ⁻¹(x, y) is good. Nil when the map window is empty.
+	Lat *lattice.Lattice
+	// Graph is the rep/relay subgraph over all point indices (non-members
+	// are isolated vertices).
+	Graph *graph.CSR
+	// Members lists the vertices of the largest connected component — the
+	// SENS network proper.
+	Members []int32
+	// InNet flags Members for O(1) lookup.
+	InNet []bool
+	// Stats carries construction accounting.
+	Stats Stats
+
+	// UDGSpec / NNSpec record the geometry used (exactly one non-nil).
+	UDGSpec *tiling.UDGSpec
+	NNSpec  *tiling.NNSpec
+}
+
+// Options tunes the construction pipeline.
+type Options struct {
+	// Election selects the leader-election protocol (default Tournament).
+	Election election.Algorithm
+	// Base supplies a pre-built base graph, avoiding a rebuild.
+	Base *rgg.Geometric
+	// SkipBase skips building the base graph entirely. Validation of SENS
+	// edges against the base is then impossible and MissingBaseEdges stays
+	// 0. (The UDG repaired-mode construction is guaranteed valid anyway;
+	// use this to speed up large Monte-Carlo sweeps.)
+	SkipBase bool
+}
+
+// MemberPoints returns the positions of the network members.
+func (n *Network) MemberPoints() []geom.Point {
+	out := make([]geom.Point, len(n.Members))
+	for i, v := range n.Members {
+		out[i] = n.Pts[v]
+	}
+	return out
+}
+
+// GoodReps returns the representatives of good tiles that made it into the
+// largest component, together with their tile coordinates, in deterministic
+// (sorted) order.
+func (n *Network) GoodReps() (reps []int32, coords []tiling.Coord) {
+	type pair struct {
+		c tiling.Coord
+		r int32
+	}
+	var ps []pair
+	for c, tn := range n.Tiles {
+		if tn.Good && tn.Rep >= 0 && n.InNet[tn.Rep] {
+			ps = append(ps, pair{c, tn.Rep})
+		}
+	}
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].c.J != ps[j].c.J {
+			return ps[i].c.J < ps[j].c.J
+		}
+		return ps[i].c.I < ps[j].c.I
+	})
+	for _, p := range ps {
+		reps = append(reps, p.r)
+		coords = append(coords, p.c)
+	}
+	return reps, coords
+}
+
+// GoodFraction returns the fraction of mapped tiles that are good — the
+// empirical estimate of the site-open probability in the coupling.
+func (n *Network) GoodFraction() float64 {
+	if n.Stats.Tiles == 0 {
+		return 0
+	}
+	return float64(n.Stats.GoodTiles) / float64(n.Stats.Tiles)
+}
+
+// ActiveFraction returns |Members| / |Pts| — the fraction of deployed nodes
+// the sensing network actually uses (the paper's "redundancy" headline).
+func (n *Network) ActiveFraction() float64 {
+	if len(n.Pts) == 0 {
+		return 0
+	}
+	return float64(len(n.Members)) / float64(len(n.Pts))
+}
+
+// MaxDegree returns the maximum degree in the rep/relay subgraph (the
+// paper's sparsity property P1 asserts ≤ 4).
+func (n *Network) MaxDegree() int { return n.Graph.MaxDegree() }
+
+// finalize computes the coupled lattice, largest component and flags.
+func (n *Network) finalize(b *graph.Builder) {
+	if n.Map.Tiles() > 0 {
+		n.Lat = lattice.New(n.Map.W, n.Map.H)
+		for c, tn := range n.Tiles {
+			if x, y, ok := n.Map.Phi(c); ok && tn.Good {
+				n.Lat.Set(x, y, true)
+			}
+		}
+	}
+	n.Graph = b.Build()
+	n.Stats.SubgraphEdges = n.Graph.EdgeCount
+	n.Members, _ = graph.LargestComponent(n.Graph)
+	if len(n.Members) == 1 {
+		// A single isolated vertex is not a network.
+		n.Members = nil
+	}
+	n.InNet = make([]bool, len(n.Pts))
+	for _, v := range n.Members {
+		n.InNet[v] = true
+	}
+}
+
+// electRegion runs a leader election over the given candidate point indices
+// and accumulates its cost into the stats; returns −1 for no candidates.
+func electRegion(alg election.Algorithm, ids []int32, st *Stats) int32 {
+	res := election.Elect(alg, ids)
+	st.ElectionMessages += res.Messages
+	if res.Rounds > st.ElectionRounds {
+		st.ElectionRounds = res.Rounds
+	}
+	return res.Leader
+}
+
+// validateEdge charges a handshake and checks the base graph when present.
+// Returns whether the edge should be added to the subgraph.
+func validateEdge(n *Network, u, v int32, requireBase bool) bool {
+	n.Stats.HandshakeAttempts++
+	if n.Base == nil {
+		return true
+	}
+	if n.Base.HasEdge(u, v) {
+		return true
+	}
+	n.Stats.MissingBaseEdges++
+	if requireBase {
+		n.Stats.HandshakeFailures++
+		return false
+	}
+	return true
+}
+
+// String renders a one-line summary.
+func (n *Network) String() string {
+	return fmt.Sprintf("%s: %d pts, %d/%d good tiles, %d members (%.1f%% active), %d edges, maxdeg %d",
+		n.Kind, len(n.Pts), n.Stats.GoodTiles, n.Stats.Tiles, len(n.Members),
+		100*n.ActiveFraction(), n.Stats.SubgraphEdges, n.MaxDegree())
+}

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/simnet"
+	"repro/internal/tiling"
+)
+
+// NN-SENS protocol payloads.
+type nnRepAnnounceMsg struct{ rep int32 }
+type nnCensusMsg struct{ node int32 }
+type nnLeaderMsg struct {
+	region tiling.NRegion
+	leader int32
+}
+type nnTileGoodMsg struct {
+	rep    int32
+	disk   [4]int32
+	bridge [4]int32
+}
+type nnCrossMsg struct{ from int32 }
+type nnCrossAckMsg struct{ from int32 }
+
+// nnNodeState is the per-node protocol state of BuildNNDistributed.
+type nnNodeState struct {
+	tile    tiling.Coord
+	region  tiling.NRegion
+	mapped  bool
+	maxSeen int32
+	// Representative-elect bookkeeping.
+	census int
+	disk   [4]int32
+	bridge [4]int32
+	// Relay bookkeeping (filled by nnTileGoodMsg).
+	tileGood nnTileGoodMsg
+	hasGood  bool
+}
+
+// BuildNNDistributed executes the §2.2 / §4.1 construction for NN-SENS as a
+// message-passing protocol on the discrete-event simulator:
+//
+//	t=0: region-internal ID broadcast (election, 9 regions per tile);
+//	t=2: the C0 winner announces itself to every node of its tile;
+//	t=4: every tile node reports to the representative-elect (the census
+//	     that enforces the population ≤ k/2 goodness condition) and region
+//	     winners announce their regions;
+//	t=6: a representative with all eight relay leaders and census ≤ k/2
+//	     declares the tile good and ships the relay table to its relays;
+//	t=8: outer-disk relays of good tiles handshake across tile boundaries;
+//	     a successful handshake installs the five-edge Figure 6 path
+//	     rep—E_d—C_d—C_d'—E_d'—rep'.
+//
+// The topology equals the centralized BuildNN with the broadcast election
+// protocol (asserted by tests). Base-graph validation is not performed here
+// — run BuildNN for the Claim 2.3 check; the point of this variant is
+// measured message costs for P4.
+func BuildNNDistributed(pts []geom.Point, box geom.Rect, spec tiling.NNSpec) (*DistributedResult, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	gm := spec.Compile()
+	n := &Network{
+		Kind:   KindNN,
+		Pts:    pts,
+		Box:    box,
+		Map:    tiling.NewMap(box, spec.TileSide()),
+		Tiles:  make(map[tiling.Coord]*TileNodes),
+		NNSpec: &spec,
+	}
+	n.Stats.Tiles = n.Map.Tiles()
+
+	// Phase 1: local classification.
+	states := make([]nnNodeState, len(pts))
+	tileNodes := map[tiling.Coord][]int32{} // every node of the tile
+	regionPeers := map[tiling.Coord]map[tiling.NRegion][]int32{}
+	for i, p := range pts {
+		st := &states[i]
+		st.maxSeen = int32(i)
+		for d := 0; d < 4; d++ {
+			st.disk[d] = -1
+			st.bridge[d] = -1
+		}
+		c := n.Map.Tiling.TileOf(p)
+		if _, _, ok := n.Map.Phi(c); !ok {
+			continue
+		}
+		st.tile = c
+		st.mapped = true
+		st.region = gm.Classify(n.Map.Tiling.Local(c, p))
+		tileNodes[c] = append(tileNodes[c], int32(i))
+		if st.region != tiling.NNone {
+			if regionPeers[c] == nil {
+				regionPeers[c] = map[tiling.NRegion][]int32{}
+			}
+			regionPeers[c][st.region] = append(regionPeers[c][st.region], int32(i))
+		}
+	}
+
+	sim := simnet.New()
+	b := graph.NewBuilder(len(pts))
+	goodTiles := map[tiling.Coord]bool{}
+
+	for i := range pts {
+		i := i
+		sim.Register(simnet.NodeID(i), simnet.HandlerFunc(func(s *simnet.Network, m simnet.Message) {
+			st := &states[i]
+			switch payload := m.Payload.(type) {
+			case electionMsg:
+				if payload.id > st.maxSeen {
+					st.maxSeen = payload.id
+				}
+			case nnRepAnnounceMsg:
+				// Every tile node replies with its census entry.
+				s.Send(simnet.NodeID(i), simnet.NodeID(payload.rep), nnCensusMsg{node: int32(i)})
+			case nnCensusMsg:
+				st.census++
+			case nnLeaderMsg:
+				switch {
+				case payload.region >= tiling.NDiskRight && payload.region <= tiling.NDiskBottom:
+					st.disk[payload.region-tiling.NDiskRight] = payload.leader
+				case payload.region >= tiling.NBridgeRight && payload.region <= tiling.NBridgeBottom:
+					st.bridge[payload.region-tiling.NBridgeRight] = payload.leader
+				}
+			case nnTileGoodMsg:
+				st.tileGood = payload
+				st.hasGood = true
+			case nnCrossMsg:
+				// Facing outer-disk relay: accept iff own tile is good; the
+				// ACK carries our ID; we also install our side's intra-tile
+				// path edges.
+				if !st.hasGood {
+					return
+				}
+				s.Send(simnet.NodeID(i), simnet.NodeID(payload.from), nnCrossAckMsg{from: int32(i)})
+				st.installIntraPath(b, int32(i))
+			case nnCrossAckMsg:
+				// Initiating outer-disk relay: install the boundary edge and
+				// our side's intra-tile path edges.
+				b.AddEdge(int32(i), payload.from)
+				st.installIntraPath(b, int32(i))
+			}
+		}))
+	}
+
+	// t=0: elections in all nine regions.
+	sim.After(0, func(s *simnet.Network) {
+		for _, regions := range regionPeers {
+			for _, peers := range regions {
+				for _, u := range peers {
+					for _, v := range peers {
+						if u != v {
+							s.Send(simnet.NodeID(u), simnet.NodeID(v), electionMsg{id: u})
+						}
+					}
+				}
+			}
+		}
+	})
+
+	// t=2: representative-elect announces to the whole tile.
+	sim.After(2, func(s *simnet.Network) {
+		for c, regions := range regionPeers {
+			rep := winner(regions[tiling.NC0])
+			if rep < 0 {
+				continue
+			}
+			for _, v := range tileNodes[c] {
+				if v != rep {
+					s.Send(simnet.NodeID(rep), simnet.NodeID(v), nnRepAnnounceMsg{rep: rep})
+				}
+			}
+			states[rep].census++ // the rep counts itself
+		}
+	})
+
+	// t=4: relay winners announce their regions to the representative.
+	sim.After(4, func(s *simnet.Network) {
+		for _, regions := range regionPeers {
+			rep := winner(regions[tiling.NC0])
+			if rep < 0 {
+				continue
+			}
+			for _, d := range tiling.Directions {
+				if l := winner(regions[tiling.NDisk(d)]); l >= 0 {
+					s.Send(simnet.NodeID(l), simnet.NodeID(rep),
+						nnLeaderMsg{region: tiling.NDisk(d), leader: l})
+				}
+				if l := winner(regions[tiling.NBridge(d)]); l >= 0 {
+					s.Send(simnet.NodeID(l), simnet.NodeID(rep),
+						nnLeaderMsg{region: tiling.NBridge(d), leader: l})
+				}
+			}
+		}
+	})
+
+	// t=6: goodness decision and relay-table distribution.
+	sim.After(6, func(s *simnet.Network) {
+		for c, regions := range regionPeers {
+			rep := winner(regions[tiling.NC0])
+			if rep < 0 {
+				continue
+			}
+			st := &states[rep]
+			good := st.census <= spec.K/2
+			for d := 0; d < 4; d++ {
+				good = good && st.disk[d] >= 0 && st.bridge[d] >= 0
+			}
+			if !good {
+				continue
+			}
+			goodTiles[c] = true
+			msg := nnTileGoodMsg{rep: rep, disk: st.disk, bridge: st.bridge}
+			states[rep].tileGood = msg
+			states[rep].hasGood = true
+			for d := 0; d < 4; d++ {
+				s.Send(simnet.NodeID(rep), simnet.NodeID(st.disk[d]), msg)
+				s.Send(simnet.NodeID(rep), simnet.NodeID(st.bridge[d]), msg)
+			}
+		}
+	})
+
+	// t=8: cross-boundary handshakes (initiated toward Right and Top).
+	sim.After(8, func(s *simnet.Network) {
+		for c := range goodTiles {
+			for _, d := range []tiling.Direction{tiling.Right, tiling.Top} {
+				nc := c.Neighbor(d)
+				if !goodTiles[nc] {
+					continue
+				}
+				u := winner(regionPeers[c][tiling.NDisk(d)])
+				v := winner(regionPeers[nc][tiling.NDisk(d.Opposite())])
+				if u >= 0 && v >= 0 {
+					s.Send(simnet.NodeID(u), simnet.NodeID(v), nnCrossMsg{from: u})
+				}
+			}
+		}
+	})
+
+	sim.Run(0)
+
+	// Assemble the Network view.
+	for c, regions := range regionPeers {
+		tn := &TileNodes{Rep: winner(regions[tiling.NC0])}
+		tn.Population = len(tileNodes[c])
+		for _, d := range tiling.Directions {
+			tn.Disk[d] = winner(regions[tiling.NDisk(d)])
+			tn.Bridge[d] = winner(regions[tiling.NBridge(d)])
+		}
+		tn.Good = goodTiles[c]
+		if tn.Good {
+			n.Stats.GoodTiles++
+		}
+		n.Tiles[c] = tn
+	}
+	n.Stats.ElectionMessages = sim.MessagesSent
+	n.Stats.ElectionRounds = 1
+	n.finalize(b)
+
+	return &DistributedResult{
+		Network:           n,
+		MessagesSent:      sim.MessagesSent,
+		MessagesDelivered: sim.MessagesDelivered,
+		Duration:          sim.Now(),
+	}, nil
+}
+
+// installIntraPath adds, for the outer-disk relay `self` of a good tile,
+// its side of the Figure 6 path: C_d—E_d and E_d—rep, using the relay table
+// received at t=6. The direction is identified by locating self in the
+// table.
+func (st *nnNodeState) installIntraPath(b *graph.Builder, self int32) {
+	for d := 0; d < 4; d++ {
+		if st.tileGood.disk[d] == self {
+			b.AddEdge(self, st.tileGood.bridge[d])
+			b.AddEdge(st.tileGood.bridge[d], st.tileGood.rep)
+			return
+		}
+	}
+}

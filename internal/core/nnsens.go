@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/rgg"
+	"repro/internal/tiling"
+)
+
+// BuildNN constructs NN-SENS(2, k) over the deployment pts in box (§2.2):
+//
+//   - every mapped tile classifies its points into the nine regions (C0,
+//     four outer disks C_*, four bridges E_*) and elects a leader per
+//     occupied region;
+//   - a tile is good when all nine leaders exist AND its population is at
+//     most k/2;
+//   - for each pair of adjacent good tiles the five-edge path
+//     rep(t) — E_d(t) — C_d(t) — C_d'(t') — E_d'(t') — rep(t') is installed
+//     (Figure 6: four relays between the two representatives).
+//
+// Edges toward direction d are installed only when the d-neighbor is also
+// good: the Claim 2.3 ball argument that guarantees these edges exist in
+// NN(2, k) needs BOTH tiles' populations capped at k/2, so only then are
+// the hops guaranteed base edges. The construction validates each edge
+// against the base NN graph when available and fails loudly on a violation
+// — this is the executable form of Claim 2.3.
+func BuildNN(pts []geom.Point, box geom.Rect, spec tiling.NNSpec, opt Options) (*Network, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	gm := spec.Compile()
+	n := &Network{
+		Kind:   KindNN,
+		Pts:    pts,
+		Box:    box,
+		Map:    tiling.NewMap(box, spec.TileSide()),
+		Tiles:  make(map[tiling.Coord]*TileNodes),
+		NNSpec: &spec,
+	}
+	n.Base = opt.Base
+	if n.Base == nil && !opt.SkipBase {
+		n.Base = rgg.NN(pts, spec.K)
+	}
+	if n.Base != nil && n.Base.N != len(pts) {
+		return nil, fmt.Errorf("sens: base graph has %d vertices, deployment has %d", n.Base.N, len(pts))
+	}
+
+	groups := tiling.AssignTiles(n.Map, pts)
+	n.Stats.Tiles = n.Map.Tiles()
+
+	// Region elections. Index layout: 0 = C0, 1..4 = disks, 5..8 = bridges.
+	var regionIDs [9][]int32
+	var local []geom.Point
+	for c, idx := range groups {
+		local = tiling.LocalPoints(n.Map, c, pts, idx, local)
+		for r := range regionIDs {
+			regionIDs[r] = regionIDs[r][:0]
+		}
+		for k, p := range local {
+			switch r := gm.Classify(p); {
+			case r == tiling.NC0:
+				regionIDs[0] = append(regionIDs[0], idx[k])
+			case r >= tiling.NDiskRight && r <= tiling.NDiskBottom:
+				d := int(r - tiling.NDiskRight)
+				regionIDs[1+d] = append(regionIDs[1+d], idx[k])
+			case r >= tiling.NBridgeRight && r <= tiling.NBridgeBottom:
+				d := int(r - tiling.NBridgeRight)
+				regionIDs[5+d] = append(regionIDs[5+d], idx[k])
+			}
+		}
+		tn := &TileNodes{Population: len(idx), Rep: -1}
+		tn.Rep = electRegion(opt.Election, regionIDs[0], &n.Stats)
+		good := tn.Rep >= 0
+		for d := 0; d < 4; d++ {
+			tn.Disk[d] = electRegion(opt.Election, regionIDs[1+d], &n.Stats)
+			tn.Bridge[d] = electRegion(opt.Election, regionIDs[5+d], &n.Stats)
+			good = good && tn.Disk[d] >= 0 && tn.Bridge[d] >= 0
+		}
+		tn.Good = good && len(idx) <= spec.K/2
+		if tn.Good {
+			n.Stats.GoodTiles++
+		}
+		n.Tiles[c] = tn
+	}
+
+	// Connections: the five-edge path per adjacent good pair.
+	b := graph.NewBuilder(len(pts))
+	for c, tn := range n.Tiles {
+		if !tn.Good {
+			continue
+		}
+		for _, d := range []tiling.Direction{tiling.Right, tiling.Top} {
+			nb, ok := n.Tiles[c.Neighbor(d)]
+			if !ok || !nb.Good {
+				continue
+			}
+			od := d.Opposite()
+			hops := [5][2]int32{
+				{tn.Rep, tn.Bridge[d]},
+				{tn.Bridge[d], tn.Disk[d]},
+				{tn.Disk[d], nb.Disk[od]},
+				{nb.Disk[od], nb.Bridge[od]},
+				{nb.Bridge[od], nb.Rep},
+			}
+			for _, h := range hops {
+				if validateEdge(n, h[0], h[1], false) {
+					b.AddEdge(h[0], h[1])
+				}
+			}
+		}
+	}
+	n.finalize(b)
+
+	if n.Base != nil && n.Stats.MissingBaseEdges > 0 {
+		return nil, fmt.Errorf("sens: Claim 2.3 invariant violated: %d SENS edges absent from NN(2, %d) base",
+			n.Stats.MissingBaseEdges, spec.K)
+	}
+	return n, nil
+}

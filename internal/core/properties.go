@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/lattice"
+	"repro/internal/stats"
+	"repro/internal/tiling"
+)
+
+// StretchSample records one representative pair measurement for the
+// Theorem 3.2 experiments.
+type StretchSample struct {
+	// Euclid is the Euclidean distance between the two representatives —
+	// the lower bound any path must beat.
+	Euclid float64
+	// PathLen is the Euclidean-weighted shortest-path length between them
+	// in the SENS subgraph.
+	PathLen float64
+	// Hops is the hop count of the shortest hop path in the SENS subgraph.
+	Hops int
+	// LatticeD is the L1 distance between the two tiles under φ — the
+	// D(x, y) of Lemma 1.1 / Theorem 3.2.
+	LatticeD int
+}
+
+// Stretch returns PathLen / Euclid (the distance stretch δ of §1).
+func (s StretchSample) Stretch() float64 {
+	if s.Euclid == 0 {
+		return 1
+	}
+	return s.PathLen / s.Euclid
+}
+
+// SampleRepStretch measures stretch between random pairs of good-tile
+// representatives inside the largest component. To amortize shortest-path
+// costs, it picks random source reps and, for each, measures several random
+// targets (fanout per source ≈ √pairs).
+func (n *Network) SampleRepStretch(pairs int, rng *rand.Rand) []StretchSample {
+	reps, coords := n.GoodReps()
+	if len(reps) < 2 || pairs <= 0 {
+		return nil
+	}
+	fanout := 8
+	if pairs < fanout {
+		fanout = pairs
+	}
+	weight := graph.EuclideanWeight(n.Pts)
+	var out []StretchSample
+	var hopBuf []int32
+	for len(out) < pairs {
+		si := rng.IntN(len(reps))
+		src := reps[si]
+		wdist := graph.Dijkstra(n.Graph, src, weight)
+		hopBuf = graph.BFS(n.Graph, src, hopBuf)
+		for f := 0; f < fanout && len(out) < pairs; f++ {
+			ti := rng.IntN(len(reps))
+			if ti == si {
+				continue
+			}
+			dst := reps[ti]
+			if hopBuf[dst] < 0 {
+				continue // different component (possible only pre-prune)
+			}
+			sx, sy, _ := n.Map.Phi(coords[si])
+			tx, ty, _ := n.Map.Phi(coords[ti])
+			out = append(out, StretchSample{
+				Euclid:   n.Pts[src].Dist(n.Pts[dst]),
+				PathLen:  wdist[dst],
+				Hops:     int(hopBuf[dst]),
+				LatticeD: lattice.L1(sx, sy, tx, ty),
+			})
+		}
+	}
+	return out
+}
+
+// EmptyBoxProbability estimates the coverage failure probability of
+// Theorem 3.3: the probability that a random ℓ×ℓ box (placed uniformly
+// inside the deployment region) contains no member of the SENS network.
+func (n *Network) EmptyBoxProbability(ell float64, trials int, rng *rand.Rand) stats.Proportion {
+	if ell > n.Box.Width() || ell > n.Box.Height() || trials <= 0 {
+		return stats.NewProportion(0, 0)
+	}
+	members := n.MemberPoints()
+	empty := 0
+	for t := 0; t < trials; t++ {
+		x := n.Box.Min.X + rng.Float64()*(n.Box.Width()-ell)
+		y := n.Box.Min.Y + rng.Float64()*(n.Box.Height()-ell)
+		box := geom.Rect{Min: geom.Pt(x, y), Max: geom.Pt(x+ell, y+ell)}
+		hit := false
+		for _, p := range members {
+			if box.Contains(p) {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			empty++
+		}
+	}
+	return stats.NewProportion(empty, trials)
+}
+
+// DegreeHistogram returns the degree distribution of the members of the
+// SENS network (P1: max degree 4 for UDG-SENS).
+func (n *Network) DegreeHistogram() []int {
+	var h []int
+	for _, v := range n.Members {
+		d := n.Graph.Degree(v)
+		for len(h) <= d {
+			h = append(h, 0)
+		}
+		h[d]++
+	}
+	return h
+}
+
+// AdjacentGoodPairs returns all pairs of horizontally/vertically adjacent
+// good tiles — the open edges of the coupled percolated mesh.
+func (n *Network) AdjacentGoodPairs() [][2]tiling.Coord {
+	var out [][2]tiling.Coord
+	for c, tn := range n.Tiles {
+		if !tn.Good {
+			continue
+		}
+		for _, d := range []tiling.Direction{tiling.Right, tiling.Top} {
+			nc := c.Neighbor(d)
+			if nb, ok := n.Tiles[nc]; ok && nb.Good {
+				out = append(out, [2]tiling.Coord{c, nc})
+			}
+		}
+	}
+	return out
+}
+
+// RepPathWithinBound verifies Claim 2.1 / Claim 2.3 for one adjacent good
+// pair: the two representatives are connected in the SENS subgraph and every
+// hop of the shortest path has length at most maxHop. Returns the hop count
+// (−1 if disconnected) and whether the per-hop bound held.
+func (n *Network) RepPathWithinBound(a, b tiling.Coord, maxHop float64) (hops int, ok bool) {
+	ta, tb := n.Tiles[a], n.Tiles[b]
+	if ta == nil || tb == nil || ta.Rep < 0 || tb.Rep < 0 {
+		return -1, false
+	}
+	path := graph.BFSPath(n.Graph, ta.Rep, tb.Rep)
+	if path == nil {
+		return -1, false
+	}
+	for i := 1; i < len(path); i++ {
+		if n.Pts[path[i-1]].Dist(n.Pts[path[i]]) > maxHop+1e-9 {
+			return len(path) - 1, false
+		}
+	}
+	return len(path) - 1, true
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/rgg"
+	"repro/internal/tiling"
+)
+
+// BuildUDG constructs UDG-SENS(2, λ) over the deployment pts in box with
+// the given tile geometry, following Figure 7:
+//
+//   - every mapped tile classifies its points into C0 and the four relay
+//     regions and elects a leader per occupied region;
+//   - a tile is good when all five regions elected a leader;
+//   - each good tile connects its representative to its four relays, and
+//     relays of adjacent good tiles connect across the shared boundary.
+//
+// In GeometryRepaired mode every such edge is within the connection radius
+// by construction (tiling.UDGSpec.Validate) and the build fails loudly if a
+// base-graph check ever disagrees. In GeometryRelaxed mode the connect()
+// handshake is allowed to fail — the edge is dropped and counted. In
+// GeometryLiteral mode no tile can be good and the result is an empty
+// network (the paper's defect, preserved for the negative experiment).
+func BuildUDG(pts []geom.Point, box geom.Rect, spec tiling.UDGSpec, opt Options) (*Network, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{
+		Kind:    KindUDG,
+		Pts:     pts,
+		Box:     box,
+		Map:     tiling.NewMap(box, spec.Side),
+		Tiles:   make(map[tiling.Coord]*TileNodes),
+		UDGSpec: &spec,
+	}
+	n.Base = opt.Base
+	if n.Base == nil && !opt.SkipBase {
+		n.Base = rgg.UDG(pts, spec.Radius)
+	}
+	if n.Base != nil && n.Base.N != len(pts) {
+		return nil, fmt.Errorf("sens: base graph has %d vertices, deployment has %d", n.Base.N, len(pts))
+	}
+
+	// Steps 1–2 of Figure 7: tile identification and region classification.
+	groups := tiling.AssignTiles(n.Map, pts)
+	n.Stats.Tiles = n.Map.Tiles()
+
+	// Step 2b–2c: per-region leader election.
+	var regionIDs [5][]int32 // C0, relay right/left/top/bottom
+	var local []geom.Point
+	for c, idx := range groups {
+		local = tiling.LocalPoints(n.Map, c, pts, idx, local)
+		for r := range regionIDs {
+			regionIDs[r] = regionIDs[r][:0]
+		}
+		for k, p := range local {
+			switch r := spec.Classify(p); r {
+			case tiling.UC0:
+				regionIDs[0] = append(regionIDs[0], idx[k])
+			case tiling.URelayRight, tiling.URelayLeft, tiling.URelayTop, tiling.URelayBottom:
+				d := int(r - tiling.URelayRight)
+				regionIDs[1+d] = append(regionIDs[1+d], idx[k])
+			}
+		}
+		tn := &TileNodes{Population: len(idx), Rep: -1}
+		for d := range tn.Disk {
+			tn.Disk[d] = -1
+		}
+		tn.Rep = electRegion(opt.Election, regionIDs[0], &n.Stats)
+		good := tn.Rep >= 0
+		for d := 0; d < 4; d++ {
+			tn.Bridge[d] = electRegion(opt.Election, regionIDs[1+d], &n.Stats)
+			good = good && tn.Bridge[d] >= 0
+		}
+		tn.Good = good
+		if good {
+			n.Stats.GoodTiles++
+		}
+		n.Tiles[c] = tn
+	}
+
+	// Step 3: connections. The relaxed mode lets handshakes fail; the
+	// repaired mode treats a failure as a construction bug.
+	requireBase := spec.Mode == tiling.GeometryRelaxed
+	b := graph.NewBuilder(len(pts))
+	for c, tn := range n.Tiles {
+		if !tn.Good {
+			continue
+		}
+		// 3a: rep ↔ its four relays.
+		for d := range tiling.Directions {
+			if validateEdge(n, tn.Rep, tn.Bridge[d], requireBase) {
+				b.AddEdge(tn.Rep, tn.Bridge[d])
+			}
+		}
+		// 3b–3e: relay ↔ facing relay of the good neighbor. Process Right
+		// and Top only so each boundary is handled once.
+		for _, d := range []tiling.Direction{tiling.Right, tiling.Top} {
+			nb, ok := n.Tiles[c.Neighbor(d)]
+			if !ok || !nb.Good {
+				continue
+			}
+			u := tn.Bridge[d]
+			v := nb.Bridge[d.Opposite()]
+			if validateEdge(n, u, v, requireBase) {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	n.finalize(b)
+
+	if spec.Mode == tiling.GeometryRepaired && n.Stats.MissingBaseEdges > 0 {
+		return nil, fmt.Errorf("sens: repaired-geometry invariant violated: %d SENS edges absent from UDG base",
+			n.Stats.MissingBaseEdges)
+	}
+	return n, nil
+}

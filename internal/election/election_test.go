@@ -1,0 +1,90 @@
+package election
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestEmptyCandidates(t *testing.T) {
+	if r := Broadcast(nil); r.Leader != -1 || r.Messages != 0 {
+		t.Errorf("Broadcast(nil) = %+v", r)
+	}
+	if r := Tournament(nil); r.Leader != -1 || r.Messages != 0 {
+		t.Errorf("Tournament(nil) = %+v", r)
+	}
+}
+
+func TestSingleton(t *testing.T) {
+	if r := Broadcast([]int32{7}); r.Leader != 7 || r.Messages != 0 || r.Rounds != 0 {
+		t.Errorf("Broadcast singleton = %+v", r)
+	}
+	if r := Tournament([]int32{7}); r.Leader != 7 || r.Messages != 0 || r.Rounds != 0 {
+		t.Errorf("Tournament singleton = %+v", r)
+	}
+}
+
+func TestBothElectMaximum(t *testing.T) {
+	ids := []int32{5, 9, 3, 9, 1, 12, 0}
+	if r := Broadcast(ids); r.Leader != 12 {
+		t.Errorf("Broadcast leader = %d", r.Leader)
+	}
+	if r := Tournament(ids); r.Leader != 12 {
+		t.Errorf("Tournament leader = %d", r.Leader)
+	}
+}
+
+func TestMessageAndRoundCounts(t *testing.T) {
+	ids := []int32{1, 2, 3, 4, 5, 6, 7, 8}
+	b := Broadcast(ids)
+	if b.Messages != 8*7 || b.Rounds != 1 {
+		t.Errorf("Broadcast cost = %+v", b)
+	}
+	tr := Tournament(ids)
+	// 8 → 4 → 2 → 1: rounds 3, messages 2·(4+2+1) = 14 = 2(n−1).
+	if tr.Rounds != 3 || tr.Messages != 14 {
+		t.Errorf("Tournament cost = %+v", tr)
+	}
+	// Odd count with byes: 5 → 3 → 2 → 1.
+	tr5 := Tournament([]int32{1, 2, 3, 4, 5})
+	if tr5.Rounds != 3 || tr5.Messages != 2*(2+1+1) {
+		t.Errorf("Tournament(5) cost = %+v", tr5)
+	}
+}
+
+func TestTournamentLinearMessages(t *testing.T) {
+	g := rng.New(1)
+	for _, n := range []int{2, 10, 100, 1000} {
+		ids := make([]int32, n)
+		for i := range ids {
+			ids[i] = int32(g.IntN(1 << 20))
+		}
+		r := Tournament(ids)
+		if r.Messages > 2*(n-1) {
+			t.Errorf("n=%d: Tournament messages %d > 2(n−1)", n, r.Messages)
+		}
+	}
+}
+
+func TestAgreementProperty(t *testing.T) {
+	f := func(raw []int32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		return Broadcast(raw).Leader == Tournament(raw).Leader
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestElectDispatch(t *testing.T) {
+	ids := []int32{3, 1, 2}
+	if r := Elect(AlgorithmBroadcast, ids); r.Leader != 3 || r.Messages != 6 {
+		t.Errorf("Elect broadcast = %+v", r)
+	}
+	if r := Elect(AlgorithmTournament, ids); r.Leader != 3 {
+		t.Errorf("Elect tournament = %+v", r)
+	}
+}

@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/election"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/lattice"
+	"repro/internal/pointprocess"
+	"repro/internal/power"
+	"repro/internal/rgg"
+	"repro/internal/rng"
+	"repro/internal/routing"
+	"repro/internal/stats"
+	"repro/internal/tiling"
+	"repro/internal/topo"
+)
+
+// E12Routing reproduces §4.2 / Angel et al.: routing probes grow linearly
+// with the optimal path length on the percolated mesh, and routing over an
+// actual SENS network expands each lattice hop into a bounded relay
+// subpath.
+func E12Routing(cfg Config) *Table {
+	t := &Table{
+		ID:      "E12",
+		Title:   "Routing on the percolated mesh (Fig. 9) and over UDG-SENS (Fig. 8)",
+		Columns: []string{"substrate", "p/λ", "routes", "delivered", "mean probes/opt", "fit probes≈c·opt (R²)"},
+	}
+	n := int(cfg.size(80, 32))
+	for _, p := range []float64{0.65, 0.75, 0.85} {
+		g := rng.Sub(cfg.Seed, uint64(900+int(p*100)))
+		l := lattice.Sample(n, n, p, g)
+		giant := l.LargestCluster()
+		if len(giant) < 50 {
+			continue
+		}
+		var opts, probes, memoProbes []float64
+		delivered, total := 0, 0
+		routes := cfg.trials(200, 40)
+		for tr := 0; tr < routes; tr++ {
+			a := giant[g.IntN(len(giant))]
+			b := giant[g.IntN(len(giant))]
+			ax, ay := l.XY(a)
+			bx, by := l.XY(b)
+			opt := l.ChemicalDistance(ax, ay, bx, by)
+			if opt < 2 {
+				continue
+			}
+			total++
+			res := routing.RouteXY(l, ax, ay, bx, by, 0)
+			if !res.Delivered {
+				continue
+			}
+			delivered++
+			opts = append(opts, float64(opt))
+			probes = append(probes, float64(res.Probes))
+			memo := routing.RouteXYWith(l, ax, ay, bx, by, routing.Options{Memoize: true})
+			memoProbes = append(memoProbes, float64(memo.Probes))
+		}
+		var ratios, memoRatios []float64
+		for i := range opts {
+			ratios = append(ratios, probes[i]/opts[i])
+			memoRatios = append(memoRatios, memoProbes[i]/opts[i])
+		}
+		fitStr := "n/a"
+		if fit, err := stats.FitLinear(opts, probes); err == nil {
+			fitStr = f4(fit.Slope) + "·opt (R²=" + f4(fit.R2) + ")"
+		}
+		t.AddRow("lattice", f4(p), d(total), d(delivered),
+			f4(stats.Mean(ratios)), fitStr)
+		t.AddRow("lattice (memoized)", f4(p), d(total), d(delivered),
+			f4(stats.Mean(memoRatios)), "probe-cache ablation")
+	}
+
+	// SENS-level routing.
+	net, err := buildUDGNet(cfg, 910, cfg.size(36, 18), 16, false)
+	if err == nil {
+		g := rng.Sub(cfg.Seed, 911)
+		_, coords := net.GoodReps()
+		delivered, total := 0, 0
+		var expansion []float64
+		routes := cfg.trials(120, 30)
+		for tr := 0; tr < routes && len(coords) >= 2; tr++ {
+			a := coords[g.IntN(len(coords))]
+			b := coords[g.IntN(len(coords))]
+			if a == b {
+				continue
+			}
+			total++
+			res, err := routing.RouteOnSens(net, a, b, 0)
+			if err != nil || !res.Delivered {
+				continue
+			}
+			delivered++
+			if res.LatticeHops > 0 {
+				expansion = append(expansion, float64(res.NodeHops)/float64(res.LatticeHops))
+			}
+		}
+		t.AddRow("UDG-SENS", "16", d(total), d(delivered),
+			"node/lattice hops = "+f4(stats.Mean(expansion)), "≤ 3 by Claim 2.1")
+	}
+	t.AddNote("probes scale linearly with the optimal path (Angel et al. Theorem); " +
+		"the constant shrinks toward 1 as p → 1")
+	return t
+}
+
+// E13Construction charges the §4.1 distributed construction: leader
+// election messages and rounds per tile and per node, for both protocols.
+func E13Construction(cfg Config) *Table {
+	t := &Table{
+		ID:      "E13",
+		Title:   "P4 construction cost: election messages/rounds (Fig. 7 pipeline)",
+		Columns: []string{"network", "protocol", "nodes", "tiles", "msgs", "msgs/node", "max rounds"},
+	}
+	side := cfg.size(30, 12)
+	box := geom.Box(side, side)
+	g := rng.Sub(cfg.Seed, 920)
+	pts := pointprocess.Poisson(box, 16, g)
+	for _, alg := range []struct {
+		name string
+		alg  election.Algorithm
+	}{{"tournament", election.AlgorithmTournament}, {"broadcast", election.AlgorithmBroadcast}} {
+		n, err := core.BuildUDG(pts, box, tiling.DefaultUDGSpec(), core.Options{
+			Election: alg.alg, SkipBase: true,
+		})
+		if err != nil {
+			continue
+		}
+		t.AddRow("UDG-SENS(λ=16)", alg.name, d(len(pts)), d(n.Stats.Tiles),
+			d(n.Stats.ElectionMessages),
+			f4(float64(n.Stats.ElectionMessages)/float64(len(pts))),
+			d(n.Stats.ElectionRounds))
+	}
+	spec := tiling.PaperNNSpec()
+	tilesPerSide := int(cfg.size(5, 3))
+	nnSide := float64(tilesPerSide) * spec.TileSide()
+	nnBox := geom.Box(nnSide, nnSide)
+	g2 := rng.Sub(cfg.Seed, 921)
+	nnPts := pointprocess.Poisson(nnBox, 1.0, g2)
+	for _, alg := range []struct {
+		name string
+		alg  election.Algorithm
+	}{{"tournament", election.AlgorithmTournament}, {"broadcast", election.AlgorithmBroadcast}} {
+		n, err := core.BuildNN(nnPts, nnBox, spec, core.Options{
+			Election: alg.alg, SkipBase: true,
+		})
+		if err != nil {
+			continue
+		}
+		t.AddRow("NN-SENS(k=188)", alg.name, d(len(nnPts)), d(n.Stats.Tiles),
+			d(n.Stats.ElectionMessages),
+			f4(float64(n.Stats.ElectionMessages)/float64(len(nnPts))),
+			d(n.Stats.ElectionRounds))
+	}
+	t.AddNote("messages per node are O(1) for the tournament protocol — the local " +
+		"computability property P4: construction cost does not grow with the " +
+		"deployment size")
+	return t
+}
+
+// E14Baselines compares UDG-SENS against the classical full-connectivity
+// topology-control structures on one deployment: who uses how many nodes,
+// at what degree, with what stretch and power cost.
+func E14Baselines(cfg Config) *Table {
+	t := &Table{
+		ID:    "E14",
+		Title: "UDG-SENS vs topology-control baselines (same deployment, λ=16)",
+		Columns: []string{"structure", "active frac", "edges", "mean deg", "max deg",
+			"mean stretch", "mean power stretch (β=2)", "edge power (β=2)"},
+	}
+	side := cfg.size(22, 12)
+	box := geom.Box(side, side)
+	g := rng.Sub(cfg.Seed, 930)
+	pts := pointprocess.Poisson(box, 16, g)
+	base := rgg.UDG(pts, 1)
+	net, err := core.BuildUDG(pts, box, tiling.DefaultUDGSpec(), core.Options{Base: base})
+	if err != nil {
+		t.AddRow("ERR: " + err.Error())
+		return t
+	}
+
+	type entry struct {
+		name       string
+		g          *graph.CSR
+		candidates []int32
+		activeFrac float64
+	}
+	baseMembers, _ := graph.LargestComponent(base.CSR)
+	entries := []entry{
+		{"UDG base", base.CSR, baseMembers, 1},
+		{"UDG-SENS", net.Graph, net.Members, net.ActiveFraction()},
+		{"Gabriel", topo.Gabriel(base).CSR, baseMembers, 1},
+		{"RNG", topo.RelativeNeighborhood(base).CSR, baseMembers, 1},
+		{"Yao(6)", topo.Yao(base, 6).CSR, baseMembers, 1},
+		{"EMST", topo.EMST(base).CSR, baseMembers, 1},
+		{"NN(6)", topo.KNN(pts, 6).CSR, baseMembers, 1},
+	}
+	pairs := cfg.trials(40, 10)
+	rows := make([][]string, len(entries))
+	parallelFor(len(entries), func(i int) {
+		e := entries[i]
+		gg := rng.Sub(cfg.Seed, uint64(940+i))
+		meanStretch, meanPower := "n/a", "n/a"
+		if samples, err := power.MeasureStretch(e.g, base.CSR, pts, e.candidates, 2,
+			pairs, pairs*40, gg); err == nil {
+			var ds, ps []float64
+			for _, s := range samples {
+				ds = append(ds, s.DistStretch)
+				ps = append(ps, s.PowerStretch)
+			}
+			meanStretch = f4(stats.Mean(ds))
+			meanPower = f4(stats.Mean(ps))
+		}
+		// Mean degree over the structure's active nodes (for SENS the
+		// members; for the baselines every node is active).
+		var degSum float64
+		for _, v := range e.candidates {
+			degSum += float64(e.g.Degree(v))
+		}
+		meanDeg := 0.0
+		if len(e.candidates) > 0 {
+			meanDeg = degSum / float64(len(e.candidates))
+		}
+		rows[i] = []string{
+			e.name, f4(e.activeFrac), d(e.g.EdgeCount), f4(meanDeg),
+			d(e.g.MaxDegree()), meanStretch, meanPower,
+			f4(power.TotalEdgePower(e.g, pts, 2)),
+		}
+	})
+	for _, r := range rows {
+		t.Rows = append(t.Rows, r)
+	}
+	t.AddNote("the baselines keep every node active (fraction 1) to serve " +
+		"per-node connectivity; UDG-SENS spends a small active fraction and " +
+		"bounded degree for the same coverage task — the paper's §1 insight")
+	return t
+}

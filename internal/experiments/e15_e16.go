@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/lattice"
+	"repro/internal/pointprocess"
+	"repro/internal/rng"
+	"repro/internal/tiling"
+)
+
+// E15AblationGeometry sweeps the repaired-geometry parameter family and
+// reports the resulting threshold λs, then runs the one-dimensional
+// optimizer — implementing the paper's conclusion's future-work item of
+// bringing λs closer to the true λc. The sweep shows the trade-off the
+// default spec resolves: a bigger center region helps until the four relay
+// regions become the bottleneck.
+func E15AblationGeometry(cfg Config) *Table {
+	t := &Table{
+		ID:      "E15",
+		Title:   "Ablation: repaired UDG-SENS geometry (r0, re) → threshold λs",
+		Columns: []string{"r0", "re", "tile side", "λs analytic", "P(good)@λs MC", "feasible"},
+	}
+	pc := lattice.SitePcReference
+	type row struct {
+		r0, re float64
+	}
+	rows := []row{
+		{0.40, 0.10}, {0.35, 0.15}, {0.30, 0.20}, {0.25, 0.25},
+		{0.20, 0.25}, {0.20, 0.20}, {0.30, 0.15}, {0.45, 0.05},
+	}
+	trials := cfg.trials(2500, 300)
+	type result struct {
+		spec     tiling.UDGSpec
+		lambdaS  float64
+		mc       float64
+		feasible bool
+	}
+	results := make([]result, len(rows))
+	parallelFor(len(rows), func(i int) {
+		spec, ls := tiling.LambdaSForParams(rows[i].r0, rows[i].re, pc)
+		results[i] = result{spec: spec, lambdaS: ls, feasible: spec.Validate() == nil}
+		if !results[i].feasible {
+			return
+		}
+		g := rng.Sub(cfg.Seed, uint64(1500+i))
+		results[i].mc = tiling.MonteCarloGoodProbability(spec.Side, ls, spec.TileGood, trials, g).P
+	})
+	for i, r := range rows {
+		res := results[i]
+		if !res.feasible {
+			t.AddRow(f4(r.r0), f4(r.re), "-", "infeasible", "-", "no")
+			continue
+		}
+		t.AddRow(f4(r.r0), f4(r.re), f4(res.spec.Side), f4(res.lambdaS), f4(res.mc), "yes")
+	}
+	best, bestLS := tiling.OptimizeUDGSpec(pc)
+	t.AddNote("optimizer (golden-section over re, r0 = 1/2−re): best λs = %s at "+
+		"r0 = %s, re = %s — the default spec's clean (1/4, 1/4) is within %s of "+
+		"optimal; the true λc ≈ 1.44 remains far below, quantifying how lossy the "+
+		"tile-coupling proof technique is (the paper's conjecture that the "+
+		"subgraph exists whenever the infinite cluster does would close the gap)",
+		f4(bestLS), f4(best.R0), f4(best.Re),
+		f4(bestLS-tiling.DefaultUDGSpec().LambdaS(pc)))
+	t.AddNote("MC column evaluates P(good) exactly at the analytic λs: values ≈ "+
+		"p_c = %s confirm the closed-form threshold", f4(pc))
+	return t
+}
+
+// E16AblationRelaxed measures what the paper's as-written Figure 7
+// algorithm actually does on the original 4/3-tile: how often the
+// connect() handshakes fail for different relay-band heights, and what
+// fraction of "good" tiles survive into the network.
+func E16AblationRelaxed(cfg Config) *Table {
+	t := &Table{
+		ID:    "E16",
+		Title: "Ablation: relaxed (as-written) UDG-SENS on the 4/3 tile — handshake failures",
+		Columns: []string{"band half-height", "λ", "good tiles", "handshakes",
+			"failures", "fail %", "members", "max degree"},
+	}
+	side := cfg.size(24, 12)
+	box := geom.Box(side, side)
+	bands := []float64{0.25, 0.5, 2.0 / 3.0}
+	lambdas := []float64{4, 8}
+	type job struct {
+		band, lambda float64
+		row          []string
+	}
+	var jobs []job
+	for _, b := range bands {
+		for _, l := range lambdas {
+			jobs = append(jobs, job{band: b, lambda: l})
+		}
+	}
+	parallelFor(len(jobs), func(i int) {
+		spec := tiling.RelaxedUDGSpec()
+		spec.BandH = jobs[i].band
+		g := rng.Sub(cfg.Seed, uint64(1600+i))
+		pts := pointprocess.Poisson(box, jobs[i].lambda, g)
+		n, err := core.BuildUDG(pts, box, spec, core.Options{})
+		if err != nil {
+			jobs[i].row = []string{f4(jobs[i].band), f4(jobs[i].lambda), "ERR: " + err.Error(), "", "", "", "", ""}
+			return
+		}
+		failPct := 0.0
+		if n.Stats.HandshakeAttempts > 0 {
+			failPct = 100 * float64(n.Stats.HandshakeFailures) / float64(n.Stats.HandshakeAttempts)
+		}
+		jobs[i].row = []string{
+			f4(jobs[i].band), f4(jobs[i].lambda), d(n.Stats.GoodTiles),
+			d(n.Stats.HandshakeAttempts), d(n.Stats.HandshakeFailures),
+			f2(failPct), d(len(n.Members)), d(n.MaxDegree()),
+		}
+	})
+	for _, j := range jobs {
+		t.Rows = append(t.Rows, j.row)
+	}
+	t.AddNote("wider bands make tiles 'good' more often but put relays out of " +
+		"radio reach more often — the failure mode the literal §2.1 regions were " +
+		"meant to exclude and cannot (they are empty); the repaired geometry has " +
+		"0 failures by construction (E04)")
+	return t
+}

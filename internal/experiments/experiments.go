@@ -1,0 +1,214 @@
+// Package experiments contains one driver per reproduced paper artifact
+// (see DESIGN.md §4): each E** function regenerates the table backing a
+// theorem, claim or numeric bound of the paper and returns it as a Table.
+// The drivers are callable from cmd/experiments, from the root-level
+// benchmark suite (one testing.B per experiment) and from tests.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"repro/internal/rng"
+)
+
+// Config tunes an experiment run.
+type Config struct {
+	// Seed makes the run reproducible; every experiment derives independent
+	// substreams from it.
+	Seed rng.Seed
+	// Scale multiplies trial counts and shrinks boxes for quick runs:
+	// 1 = full (EXPERIMENTS.md numbers), 0.2 = smoke test. Values ≤ 0 are
+	// treated as 1.
+	Scale float64
+}
+
+// trials scales a trial count, keeping at least min.
+func (c Config) trials(base, min int) int {
+	s := c.Scale
+	if s <= 0 {
+		s = 1
+	}
+	n := int(float64(base) * s)
+	if n < min {
+		n = min
+	}
+	return n
+}
+
+// size scales a linear dimension, keeping at least min.
+func (c Config) size(base, min float64) float64 {
+	s := c.Scale
+	if s <= 0 {
+		s = 1
+	}
+	// Linear dimensions shrink with sqrt(scale) so areas shrink with scale.
+	v := base * sqrtScale(s)
+	if v < min {
+		v = min
+	}
+	return v
+}
+
+func sqrtScale(s float64) float64 {
+	if s >= 1 {
+		return 1
+	}
+	// Cheap sqrt via Newton (avoids importing math just for this).
+	x := s
+	for i := 0; i < 20; i++ {
+		x = 0.5 * (x + s/x)
+	}
+	return x
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row (cell count should match Columns).
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddNote appends a free-text note rendered under the table.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table as aligned monospace text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", max(total-2, 4)))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// f4 formats a float at 4 significant digits.
+func f4(v float64) string { return fmt.Sprintf("%.4g", v) }
+
+// f2 formats a float at 2 decimal places.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// d formats an int.
+func d(v int) string { return fmt.Sprintf("%d", v) }
+
+// Runner is a registered experiment.
+type Runner struct {
+	ID    string
+	Title string
+	Run   func(Config) *Table
+}
+
+// All lists every experiment in DESIGN.md order.
+var All = []Runner{
+	{"E01", "Base model sanity: Poisson process, UDG and NN degree laws", E01BaseModels},
+	{"E02", "Site percolation critical probability (paper §2: p_c ∈ (0.592, 0.593))", E02SitePc},
+	{"E03", "Chemical distance concentration (Lemma 1.1, Antal–Pisztora)", E03ChemicalDistance},
+	{"E04", "UDG-SENS tile goodness and Claim 2.1 path bound", E04UDGClaim},
+	{"E05", "Theorem 2.2: λs threshold for UDG-SENS vs direct λc estimate", E05LambdaS},
+	{"E06", "NN-SENS tile goodness and Claim 2.3 path bound", E06NNClaim},
+	{"E07", "Theorem 2.4: ks threshold for NN-SENS vs direct kc estimate", E07KS},
+	{"E08", "Theorem 3.2: constant distance stretch of the SENS networks", E08Stretch},
+	{"E09", "Theorem 3.3: exponential coverage decay", E09Coverage},
+	{"E10", "Property P1: sparsity (degree distribution)", E10Sparsity},
+	{"E11", "Power stretch ≤ δ^β (Li–Wan–Wang)", E11Power},
+	{"E12", "§4.2 routing: probes vs optimal path (Angel et al.)", E12Routing},
+	{"E13", "§4.1 construction cost: election messages and rounds (P4)", E13Construction},
+	{"E14", "Baseline comparison: SENS vs Gabriel/RNG/Yao/EMST/k-NN", E14Baselines},
+	{"E15", "Ablation: repaired geometry parameters → λs (+ optimizer)", E15AblationGeometry},
+	{"E16", "Ablation: relaxed-mode handshake failures on the paper's tile", E16AblationRelaxed},
+	{"E17", "Extension: fault tolerance — failures, degradation, local rebuild", E17FaultTolerance},
+	{"E18", "Extension: robustness to inhomogeneous deployment density", E18DensityGradient},
+}
+
+// ByID returns the runner with the given ID, or nil.
+func ByID(id string) *Runner {
+	for i := range All {
+		if All[i].ID == id {
+			return &All[i]
+		}
+	}
+	return nil
+}
+
+// parallelFor runs fn(i) for i in [0, n) on all cores and waits.
+func parallelFor(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

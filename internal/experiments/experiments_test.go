@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// smoke runs every experiment at a small scale and sanity-checks the table.
+func TestAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := Config{Seed: 42, Scale: 0.15}
+	for _, r := range All {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			t.Parallel()
+			table := r.Run(cfg)
+			if table == nil {
+				t.Fatal("nil table")
+			}
+			if table.ID != r.ID {
+				t.Errorf("table ID %q != runner ID %q", table.ID, r.ID)
+			}
+			if len(table.Rows) == 0 {
+				t.Error("no rows")
+			}
+			out := table.String()
+			if !strings.Contains(out, r.ID) {
+				t.Error("render missing ID")
+			}
+			for _, row := range table.Rows {
+				for _, cell := range row {
+					if strings.Contains(cell, "ERR") {
+						t.Errorf("row reports error: %v", row)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if ByID("E05") == nil || ByID("E05").ID != "E05" {
+		t.Error("ByID lookup failed")
+	}
+	if ByID("nope") != nil {
+		t.Error("ByID should return nil for unknown")
+	}
+}
+
+func TestConfigScaling(t *testing.T) {
+	c := Config{Scale: 0.25}
+	if got := c.trials(100, 10); got != 25 {
+		t.Errorf("trials = %d", got)
+	}
+	if got := c.trials(100, 60); got != 60 {
+		t.Errorf("trials floor = %d", got)
+	}
+	if got := (Config{}).trials(100, 10); got != 100 {
+		t.Errorf("zero scale should mean full: %d", got)
+	}
+	// size shrinks linearly with sqrt(scale): 0.25 → half.
+	if got := c.size(40, 5); got < 19 || got > 21 {
+		t.Errorf("size = %v", got)
+	}
+	if got := c.size(40, 30); got != 30 {
+		t.Errorf("size floor = %v", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{ID: "X", Title: "demo", Columns: []string{"a", "bb"}}
+	tab.AddRow("1", "2")
+	tab.AddRow("333", "4")
+	tab.AddNote("hello %d", 5)
+	out := tab.String()
+	if !strings.Contains(out, "X — demo") {
+		t.Error("missing header")
+	}
+	if !strings.Contains(out, "note: hello 5") {
+		t.Error("missing note")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // header, columns, rule, 2 rows, note
+		t.Errorf("unexpected line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := map[int]int{4: 8, 8: 8, 15: 8, 16: 16, 64: 64, 500: 128}
+	for in, want := range cases {
+		if got := bucketOf(in); got != want {
+			t.Errorf("bucketOf(%d) = %d want %d", in, got, want)
+		}
+	}
+}
+
+func TestParallelForCoversAll(t *testing.T) {
+	hits := make([]int32, 100)
+	parallelFor(100, func(i int) { hits[i]++ })
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d hit %d times", i, h)
+		}
+	}
+	// n smaller than workers.
+	small := make([]int32, 2)
+	parallelFor(2, func(i int) { small[i]++ })
+	if small[0] != 1 || small[1] != 1 {
+		t.Error("small parallelFor wrong")
+	}
+	parallelFor(0, func(i int) { t.Error("fn called for n=0") })
+}

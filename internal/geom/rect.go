@@ -1,0 +1,125 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rect is an axis-aligned rectangle [MinX, MaxX] × [MinY, MaxY]. Rectangles
+// are closed; a degenerate rectangle (Min == Max in a coordinate) has zero
+// area but still contains its boundary points.
+type Rect struct {
+	Min, Max Point
+}
+
+// NewRect builds the rectangle spanned by any two opposite corners.
+func NewRect(a, b Point) Rect {
+	return Rect{
+		Min: Point{math.Min(a.X, b.X), math.Min(a.Y, b.Y)},
+		Max: Point{math.Max(a.X, b.X), math.Max(a.Y, b.Y)},
+	}
+}
+
+// Square returns the axis-aligned square with the given center and side.
+func Square(center Point, side float64) Rect {
+	h := side / 2
+	return Rect{Point{center.X - h, center.Y - h}, Point{center.X + h, center.Y + h}}
+}
+
+// Box returns the rectangle [0, w] × [0, h].
+func Box(w, h float64) Rect { return Rect{Point{0, 0}, Point{w, h}} }
+
+// Width returns the horizontal extent.
+func (r Rect) Width() float64 { return r.Max.X - r.Min.X }
+
+// Height returns the vertical extent.
+func (r Rect) Height() float64 { return r.Max.Y - r.Min.Y }
+
+// Area returns the area of the rectangle.
+func (r Rect) Area() float64 { return r.Width() * r.Height() }
+
+// Center returns the center point.
+func (r Rect) Center() Point {
+	return Point{(r.Min.X + r.Max.X) / 2, (r.Min.Y + r.Max.Y) / 2}
+}
+
+// Contains reports whether p lies in the closed rectangle.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// ContainsRect reports whether s lies entirely within r.
+func (r Rect) ContainsRect(s Rect) bool {
+	return s.Min.X >= r.Min.X && s.Max.X <= r.Max.X &&
+		s.Min.Y >= r.Min.Y && s.Max.Y <= r.Max.Y
+}
+
+// Intersects reports whether the two closed rectangles share any point.
+func (r Rect) Intersects(s Rect) bool {
+	return r.Min.X <= s.Max.X && s.Min.X <= r.Max.X &&
+		r.Min.Y <= s.Max.Y && s.Min.Y <= r.Max.Y
+}
+
+// Intersect returns the intersection rectangle and whether it is non-empty.
+func (r Rect) Intersect(s Rect) (Rect, bool) {
+	out := Rect{
+		Min: Point{math.Max(r.Min.X, s.Min.X), math.Max(r.Min.Y, s.Min.Y)},
+		Max: Point{math.Min(r.Max.X, s.Max.X), math.Min(r.Max.Y, s.Max.Y)},
+	}
+	if out.Min.X > out.Max.X || out.Min.Y > out.Max.Y {
+		return Rect{}, false
+	}
+	return out, true
+}
+
+// Union returns the smallest rectangle containing both r and s.
+func (r Rect) Union(s Rect) Rect {
+	return Rect{
+		Min: Point{math.Min(r.Min.X, s.Min.X), math.Min(r.Min.Y, s.Min.Y)},
+		Max: Point{math.Max(r.Max.X, s.Max.X), math.Max(r.Max.Y, s.Max.Y)},
+	}
+}
+
+// Expand returns r grown by d on every side (shrunk for negative d; the
+// result may be empty, in which case Area() ≤ 0).
+func (r Rect) Expand(d float64) Rect {
+	return Rect{Point{r.Min.X - d, r.Min.Y - d}, Point{r.Max.X + d, r.Max.Y + d}}
+}
+
+// Clamp returns the point of r closest to p.
+func (r Rect) Clamp(p Point) Point {
+	return Point{
+		math.Min(math.Max(p.X, r.Min.X), r.Max.X),
+		math.Min(math.Max(p.Y, r.Min.Y), r.Max.Y),
+	}
+}
+
+// DistToPoint returns the Euclidean distance from p to the rectangle
+// (zero if p is inside).
+func (r Rect) DistToPoint(p Point) float64 {
+	return p.Dist(r.Clamp(p))
+}
+
+// MaxDistToPoint returns the largest distance from p to any point of r,
+// attained at one of the corners.
+func (r Rect) MaxDistToPoint(p Point) float64 {
+	dx := math.Max(math.Abs(p.X-r.Min.X), math.Abs(p.X-r.Max.X))
+	dy := math.Max(math.Abs(p.Y-r.Min.Y), math.Abs(p.Y-r.Max.Y))
+	return math.Hypot(dx, dy)
+}
+
+// Corners returns the four corners in counterclockwise order starting from
+// Min.
+func (r Rect) Corners() [4]Point {
+	return [4]Point{
+		r.Min,
+		{r.Max.X, r.Min.Y},
+		r.Max,
+		{r.Min.X, r.Max.Y},
+	}
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%v, %v]", r.Min, r.Max)
+}

@@ -1,0 +1,153 @@
+// Package graph provides the graph substrate used by the topology
+// constructions: a mutable adjacency-list builder, an immutable CSR
+// (compressed sparse row) form for query-heavy phases, union-find for
+// connected components, BFS (hop distance) and Dijkstra (weighted distance).
+//
+// Vertices are dense int32 indices; edge weights, where used, are Euclidean
+// lengths supplied by the caller. All shortest-path routines reuse caller
+// buffers where it matters to keep the Monte-Carlo loops allocation-light.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates an undirected multigraph-free edge set.
+type Builder struct {
+	n     int
+	adj   [][]int32
+	edges int
+}
+
+// NewBuilder creates a builder over n vertices.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n, adj: make([][]int32, n)}
+}
+
+// N returns the number of vertices.
+func (b *Builder) N() int { return b.n }
+
+// Edges returns the number of undirected edges added.
+func (b *Builder) Edges() int { return b.edges }
+
+// AddEdge adds the undirected edge {u, v} if absent. Self loops are ignored.
+// Returns true if the edge was newly added.
+func (b *Builder) AddEdge(u, v int32) bool {
+	if u == v {
+		return false
+	}
+	if u < 0 || v < 0 || int(u) >= b.n || int(v) >= b.n {
+		panic(fmt.Sprintf("graph: edge (%d, %d) out of range [0, %d)", u, v, b.n))
+	}
+	for _, w := range b.adj[u] {
+		if w == v {
+			return false
+		}
+	}
+	b.adj[u] = append(b.adj[u], v)
+	b.adj[v] = append(b.adj[v], u)
+	b.edges++
+	return true
+}
+
+// HasEdge reports whether the undirected edge {u, v} exists.
+func (b *Builder) HasEdge(u, v int32) bool {
+	if u < 0 || int(u) >= b.n || v < 0 || int(v) >= b.n {
+		return false
+	}
+	for _, w := range b.adj[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Degree returns the degree of u.
+func (b *Builder) Degree(u int32) int { return len(b.adj[u]) }
+
+// Neighbors returns u's adjacency slice (not a copy).
+func (b *Builder) Neighbors(u int32) []int32 { return b.adj[u] }
+
+// Build freezes the builder into CSR form.
+func (b *Builder) Build() *CSR {
+	c := &CSR{
+		N:     b.n,
+		Start: make([]int32, b.n+1),
+	}
+	total := 0
+	for _, a := range b.adj {
+		total += len(a)
+	}
+	c.Adj = make([]int32, total)
+	pos := int32(0)
+	for u, a := range b.adj {
+		c.Start[u] = pos
+		// Sorted adjacency gives deterministic iteration order downstream.
+		sorted := append([]int32(nil), a...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		copy(c.Adj[pos:], sorted)
+		pos += int32(len(a))
+	}
+	c.Start[b.n] = pos
+	c.EdgeCount = b.edges
+	return c
+}
+
+// CSR is an immutable undirected graph in compressed sparse row form.
+type CSR struct {
+	N         int
+	Start     []int32 // len N+1
+	Adj       []int32 // len 2·EdgeCount
+	EdgeCount int
+}
+
+// Neighbors returns the sorted adjacency of u.
+func (c *CSR) Neighbors(u int32) []int32 {
+	return c.Adj[c.Start[u]:c.Start[u+1]]
+}
+
+// Degree returns the degree of u.
+func (c *CSR) Degree(u int32) int {
+	return int(c.Start[u+1] - c.Start[u])
+}
+
+// MaxDegree returns the maximum degree over all vertices (0 for empty).
+func (c *CSR) MaxDegree() int {
+	m := 0
+	for u := 0; u < c.N; u++ {
+		if d := c.Degree(int32(u)); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// MeanDegree returns the average degree (0 for the empty graph).
+func (c *CSR) MeanDegree() float64 {
+	if c.N == 0 {
+		return 0
+	}
+	return 2 * float64(c.EdgeCount) / float64(c.N)
+}
+
+// DegreeHistogram returns counts[d] = number of vertices with degree d.
+func (c *CSR) DegreeHistogram() []int {
+	h := make([]int, c.MaxDegree()+1)
+	for u := 0; u < c.N; u++ {
+		h[c.Degree(int32(u))]++
+	}
+	return h
+}
+
+// HasEdge reports whether {u, v} is an edge, via binary search on the sorted
+// adjacency of the lower-degree endpoint.
+func (c *CSR) HasEdge(u, v int32) bool {
+	if c.Degree(u) > c.Degree(v) {
+		u, v = v, u
+	}
+	a := c.Neighbors(u)
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= v })
+	return i < len(a) && a[i] == v
+}

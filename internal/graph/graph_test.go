@@ -1,0 +1,343 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+// pathGraph builds the path 0−1−2−…−(n−1).
+func pathGraph(n int) *CSR {
+	b := NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(int32(i), int32(i+1))
+	}
+	return b.Build()
+}
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder(4)
+	if !b.AddEdge(0, 1) {
+		t.Error("first AddEdge returned false")
+	}
+	if b.AddEdge(1, 0) {
+		t.Error("duplicate edge (reversed) returned true")
+	}
+	if b.AddEdge(2, 2) {
+		t.Error("self loop returned true")
+	}
+	b.AddEdge(1, 2)
+	if b.Edges() != 2 {
+		t.Errorf("Edges = %d", b.Edges())
+	}
+	if !b.HasEdge(0, 1) || !b.HasEdge(1, 0) || b.HasEdge(0, 2) {
+		t.Error("HasEdge wrong")
+	}
+	if b.HasEdge(-1, 0) || b.HasEdge(0, 99) {
+		t.Error("out-of-range HasEdge should be false")
+	}
+	if b.Degree(1) != 2 {
+		t.Errorf("Degree(1) = %d", b.Degree(1))
+	}
+	if b.N() != 4 {
+		t.Errorf("N = %d", b.N())
+	}
+}
+
+func TestBuilderPanicsOnBadEdge(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range edge")
+		}
+	}()
+	NewBuilder(2).AddEdge(0, 5)
+}
+
+func TestCSRStructure(t *testing.T) {
+	b := NewBuilder(5)
+	b.AddEdge(0, 3)
+	b.AddEdge(0, 1)
+	b.AddEdge(3, 4)
+	g := b.Build()
+	if g.N != 5 || g.EdgeCount != 3 {
+		t.Fatalf("N=%d E=%d", g.N, g.EdgeCount)
+	}
+	// Sorted adjacency.
+	n0 := g.Neighbors(0)
+	if len(n0) != 2 || n0[0] != 1 || n0[1] != 3 {
+		t.Errorf("Neighbors(0) = %v", n0)
+	}
+	if g.Degree(2) != 0 {
+		t.Errorf("Degree(2) = %d", g.Degree(2))
+	}
+	if !g.HasEdge(0, 3) || !g.HasEdge(4, 3) || g.HasEdge(1, 4) {
+		t.Error("CSR HasEdge wrong")
+	}
+	if g.MaxDegree() != 2 {
+		t.Errorf("MaxDegree = %d", g.MaxDegree())
+	}
+	if got := g.MeanDegree(); math.Abs(got-6.0/5) > 1e-12 {
+		t.Errorf("MeanDegree = %v", got)
+	}
+	h := g.DegreeHistogram()
+	// Degrees: 0:2, 1:1, 2:0, 3:2, 4:1 → hist[0]=1, hist[1]=2, hist[2]=2.
+	if h[0] != 1 || h[1] != 2 || h[2] != 2 {
+		t.Errorf("DegreeHistogram = %v", h)
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	uf := NewUnionFind(6)
+	if uf.Count() != 6 {
+		t.Errorf("initial Count = %d", uf.Count())
+	}
+	if !uf.Union(0, 1) || !uf.Union(1, 2) {
+		t.Error("Union of distinct sets returned false")
+	}
+	if uf.Union(0, 2) {
+		t.Error("Union of same set returned true")
+	}
+	if !uf.Connected(0, 2) || uf.Connected(0, 3) {
+		t.Error("Connected wrong")
+	}
+	if uf.Count() != 4 {
+		t.Errorf("Count = %d", uf.Count())
+	}
+}
+
+func TestUnionFindPropertyTransitive(t *testing.T) {
+	f := func(ops [][2]uint8) bool {
+		uf := NewUnionFind(16)
+		// Mirror with an explicit labels array.
+		labels := make([]int, 16)
+		for i := range labels {
+			labels[i] = i
+		}
+		relabel := func(from, to int) {
+			for i := range labels {
+				if labels[i] == from {
+					labels[i] = to
+				}
+			}
+		}
+		for _, op := range ops {
+			a, b := int32(op[0]%16), int32(op[1]%16)
+			uf.Union(a, b)
+			relabel(labels[a], labels[b])
+		}
+		for i := int32(0); i < 16; i++ {
+			for j := int32(0); j < 16; j++ {
+				if uf.Connected(i, j) != (labels[i] == labels[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComponents(t *testing.T) {
+	b := NewBuilder(7)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	// 5, 6 isolated.
+	g := b.Build()
+	labels, sizes := Components(g)
+	if len(sizes) != 4 {
+		t.Fatalf("num components = %d", len(sizes))
+	}
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Error("component {0,1,2} split")
+	}
+	if labels[3] != labels[4] {
+		t.Error("component {3,4} split")
+	}
+	if labels[5] == labels[6] || labels[5] == labels[0] {
+		t.Error("isolated vertices mislabeled")
+	}
+	members, _ := LargestComponent(g)
+	if len(members) != 3 || members[0] != 0 || members[2] != 2 {
+		t.Errorf("LargestComponent = %v", members)
+	}
+}
+
+func TestLargestComponentEmpty(t *testing.T) {
+	g := NewBuilder(0).Build()
+	members, label := LargestComponent(g)
+	if members != nil || label != -1 {
+		t.Errorf("empty graph largest component = %v, %d", members, label)
+	}
+}
+
+func TestBFSOnPath(t *testing.T) {
+	g := pathGraph(10)
+	dist := BFS(g, 0, nil)
+	for i := 0; i < 10; i++ {
+		if dist[i] != int32(i) {
+			t.Errorf("dist[%d] = %d", i, dist[i])
+		}
+	}
+	// Buffer reuse.
+	dist2 := BFS(g, 9, dist)
+	if dist2[0] != 9 {
+		t.Errorf("reused-buffer BFS wrong: %v", dist2[0])
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	g := b.Build()
+	dist := BFS(g, 0, nil)
+	if dist[2] != -1 || dist[3] != -1 {
+		t.Error("unreachable vertices should be -1")
+	}
+}
+
+func TestBFSPath(t *testing.T) {
+	g := pathGraph(6)
+	p := BFSPath(g, 1, 4)
+	want := []int32{1, 2, 3, 4}
+	if len(p) != len(want) {
+		t.Fatalf("path = %v", p)
+	}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("path = %v", p)
+		}
+	}
+	if p := BFSPath(g, 2, 2); len(p) != 1 || p[0] != 2 {
+		t.Errorf("trivial path = %v", p)
+	}
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	if p := BFSPath(b.Build(), 0, 2); p != nil {
+		t.Errorf("unreachable path = %v", p)
+	}
+}
+
+func TestBFSPathIsShortest(t *testing.T) {
+	// Cycle of length 8: path from 0 to 5 should use the short side (3 hops).
+	b := NewBuilder(8)
+	for i := 0; i < 8; i++ {
+		b.AddEdge(int32(i), int32((i+1)%8))
+	}
+	g := b.Build()
+	p := BFSPath(g, 0, 5)
+	if len(p)-1 != 3 {
+		t.Errorf("cycle shortest path length = %d want 3 (path %v)", len(p)-1, p)
+	}
+	d := BFS(g, 0, nil)
+	if d[5] != 3 {
+		t.Errorf("BFS dist = %d", d[5])
+	}
+}
+
+func TestDijkstraMatchesBFSOnUnitWeights(t *testing.T) {
+	g := rngGraph(t, 200, 0.03)
+	unit := func(u, v int32) float64 { return 1 }
+	d := Dijkstra(g, 0, unit)
+	h := BFS(g, 0, nil)
+	for i := 0; i < g.N; i++ {
+		if h[i] < 0 {
+			if !math.IsInf(d[i], 1) {
+				t.Fatalf("vertex %d: BFS unreachable but Dijkstra %v", i, d[i])
+			}
+			continue
+		}
+		if math.Abs(d[i]-float64(h[i])) > 1e-9 {
+			t.Fatalf("vertex %d: Dijkstra %v vs BFS %d", i, d[i], h[i])
+		}
+	}
+}
+
+// rngGraph builds a G(n, p) random graph.
+func rngGraph(t *testing.T, n int, p float64) *CSR {
+	t.Helper()
+	g := rng.New(77)
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if g.Float64() < p {
+				b.AddEdge(int32(i), int32(j))
+			}
+		}
+	}
+	return b.Build()
+}
+
+func TestDijkstraWeighted(t *testing.T) {
+	// Triangle with a shortcut: 0−1 (1.0), 1−2 (1.0), 0−2 (2.5).
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	pos := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(2, 0)}
+	// Override distance 0−2 via positions: d(0,2) = 2 > d(0,1)+d(1,2) = 2 is
+	// a tie; use a bent middle point instead.
+	pos[1] = geom.Pt(1, 0.1)
+	g := b.Build()
+	w := EuclideanWeight(pos)
+	d := Dijkstra(g, 0, w)
+	// Direct edge 0−2 has length 2; via 1 it is ~2.01. Direct should win.
+	if math.Abs(d[2]-2) > 1e-9 {
+		t.Errorf("d[2] = %v want 2", d[2])
+	}
+	if got := DijkstraTo(g, 0, 2, w); math.Abs(got-2) > 1e-9 {
+		t.Errorf("DijkstraTo = %v", got)
+	}
+	if got := DijkstraTo(g, 0, 2, PowerWeight(pos, 2)); math.Abs(got-(pos[0].Dist2(pos[1])+pos[1].Dist2(pos[2]))) > 1e-9 {
+		// With beta=2 the two-hop path is cheaper: 1.01² ≈ two short hops.
+		t.Errorf("power-weight DijkstraTo = %v", got)
+	}
+}
+
+func TestDijkstraToUnreachable(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	g := b.Build()
+	if got := DijkstraTo(g, 0, 2, func(u, v int32) float64 { return 1 }); !math.IsInf(got, 1) {
+		t.Errorf("unreachable DijkstraTo = %v", got)
+	}
+}
+
+func TestPowerWeight(t *testing.T) {
+	pos := []geom.Point{geom.Pt(0, 0), geom.Pt(2, 0)}
+	w := PowerWeight(pos, 3)
+	if got := w(0, 1); math.Abs(got-8) > 1e-12 {
+		t.Errorf("PowerWeight = %v want 8", got)
+	}
+}
+
+func BenchmarkBFS(b *testing.B) {
+	g := pathGraph(100000)
+	var dist []int32
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dist = BFS(g, 0, dist)
+	}
+}
+
+func BenchmarkUnionFindComponents(b *testing.B) {
+	bld := NewBuilder(100000)
+	g := rng.New(3)
+	for i := 0; i < 200000; i++ {
+		u := int32(g.IntN(100000))
+		v := int32(g.IntN(100000))
+		if u != v {
+			bld.AddEdge(u, v)
+		}
+	}
+	csr := bld.Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Components(csr)
+	}
+}

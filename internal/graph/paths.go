@@ -1,0 +1,160 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// BFS computes hop distances from src; unreachable vertices get −1.
+// The dist slice is reused if non-nil and long enough.
+func BFS(g *CSR, src int32, dist []int32) []int32 {
+	if cap(dist) < g.N {
+		dist = make([]int32, g.N)
+	}
+	dist = dist[:g.N]
+	for i := range dist {
+		dist[i] = -1
+	}
+	queue := make([]int32, 0, 64)
+	dist[src] = 0
+	queue = append(queue, src)
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := dist[u]
+		for _, v := range g.Neighbors(u) {
+			if dist[v] < 0 {
+				dist[v] = du + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// BFSPath returns a shortest hop path from src to dst (inclusive), or nil if
+// unreachable.
+func BFSPath(g *CSR, src, dst int32) []int32 {
+	if src == dst {
+		return []int32{src}
+	}
+	parent := make([]int32, g.N)
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[src] = src
+	queue := []int32{src}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, v := range g.Neighbors(u) {
+			if parent[v] < 0 {
+				parent[v] = u
+				if v == dst {
+					return reconstruct(parent, src, dst)
+				}
+				queue = append(queue, v)
+			}
+		}
+	}
+	return nil
+}
+
+func reconstruct(parent []int32, src, dst int32) []int32 {
+	var rev []int32
+	for v := dst; ; v = parent[v] {
+		rev = append(rev, v)
+		if v == src {
+			break
+		}
+	}
+	// Reverse in place.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// EuclideanWeight returns an edge-weight function measuring Euclidean length
+// between the endpoints' positions.
+func EuclideanWeight(pos []geom.Point) func(u, v int32) float64 {
+	return func(u, v int32) float64 { return pos[u].Dist(pos[v]) }
+}
+
+// PowerWeight returns an edge-weight function d(u,v)^beta — the standard
+// radio energy model used by Li–Wan–Wang for power stretch.
+func PowerWeight(pos []geom.Point, beta float64) func(u, v int32) float64 {
+	return func(u, v int32) float64 { return math.Pow(pos[u].Dist(pos[v]), beta) }
+}
+
+// Dijkstra computes weighted distances from src under the given edge weight
+// function; unreachable vertices get +Inf.
+func Dijkstra(g *CSR, src int32, weight func(u, v int32) float64) []float64 {
+	dist := make([]float64, g.N)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	pq := &distHeap{items: []distItem{{src, 0}}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(distItem)
+		if it.d > dist[it.v] {
+			continue
+		}
+		for _, w := range g.Neighbors(it.v) {
+			nd := it.d + weight(it.v, w)
+			if nd < dist[w] {
+				dist[w] = nd
+				heap.Push(pq, distItem{w, nd})
+			}
+		}
+	}
+	return dist
+}
+
+// DijkstraTo computes the weighted distance from src to dst, stopping early
+// once dst is settled. Returns +Inf if unreachable.
+func DijkstraTo(g *CSR, src, dst int32, weight func(u, v int32) float64) float64 {
+	dist := make([]float64, g.N)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	pq := &distHeap{items: []distItem{{src, 0}}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(distItem)
+		if it.v == dst {
+			return it.d
+		}
+		if it.d > dist[it.v] {
+			continue
+		}
+		for _, w := range g.Neighbors(it.v) {
+			nd := it.d + weight(it.v, w)
+			if nd < dist[w] {
+				dist[w] = nd
+				heap.Push(pq, distItem{w, nd})
+			}
+		}
+	}
+	return math.Inf(1)
+}
+
+type distItem struct {
+	v int32
+	d float64
+}
+
+type distHeap struct{ items []distItem }
+
+func (h *distHeap) Len() int           { return len(h.items) }
+func (h *distHeap) Less(i, j int) bool { return h.items[i].d < h.items[j].d }
+func (h *distHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *distHeap) Push(x interface{}) { h.items = append(h.items, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}

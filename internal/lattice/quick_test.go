@@ -1,0 +1,75 @@
+package lattice
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// TestClustersPartitionProperty: for arbitrary configurations, cluster
+// labels must partition exactly the open sites, sizes must sum to the open
+// count, and adjacent open sites must share a label.
+func TestClustersPartitionProperty(t *testing.T) {
+	f := func(seed uint64, pRaw uint8) bool {
+		p := float64(pRaw%101) / 100
+		l := Sample(12, 9, p, rng.New(rng.Seed(seed)))
+		labels, sizes := l.Clusters()
+		total := 0
+		for _, s := range sizes {
+			if s <= 0 {
+				return false
+			}
+			total += s
+		}
+		if total != l.OpenCount() {
+			return false
+		}
+		for y := 0; y < l.H; y++ {
+			for x := 0; x < l.W; x++ {
+				i := l.Idx(x, y)
+				if l.IsOpen(x, y) != (labels[i] >= 0) {
+					return false
+				}
+				if !l.IsOpen(x, y) {
+					continue
+				}
+				if l.IsOpen(x+1, y) && labels[i] != labels[l.Idx(x+1, y)] {
+					return false
+				}
+				if l.IsOpen(x, y+1) && labels[i] != labels[l.Idx(x, y+1)] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestChemicalDistanceSymmetryProperty: D_p(a, b) == D_p(b, a) and the
+// triangle inequality holds through any open intermediate site.
+func TestChemicalDistanceSymmetryProperty(t *testing.T) {
+	f := func(seed uint64, coords [6]uint8) bool {
+		l := Sample(10, 10, 0.75, rng.New(rng.Seed(seed)))
+		ax, ay := int(coords[0])%10, int(coords[1])%10
+		bx, by := int(coords[2])%10, int(coords[3])%10
+		cx, cy := int(coords[4])%10, int(coords[5])%10
+		dab := l.ChemicalDistance(ax, ay, bx, by)
+		dba := l.ChemicalDistance(bx, by, ax, ay)
+		if dab != dba {
+			return false
+		}
+		dac := l.ChemicalDistance(ax, ay, cx, cy)
+		dcb := l.ChemicalDistance(cx, cy, bx, by)
+		if dab >= 0 && dac >= 0 && dcb >= 0 && dab > dac+dcb {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,65 @@
+package pointprocess
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/geom"
+)
+
+// Inhomogeneous samples an inhomogeneous Poisson point process on box with
+// the given intensity function, by thinning a homogeneous Poisson(maxLambda)
+// process: a candidate at p survives with probability intensity(p)/maxLambda.
+// intensity must satisfy 0 ≤ intensity(p) ≤ maxLambda on the box; values
+// above maxLambda are clamped (the result is then an approximation).
+//
+// The paper assumes a homogeneous process; real deployments (air-dropped
+// sensors, terrain effects) are not. The E18 experiment uses this to probe
+// how UDG-SENS degrades under density gradients.
+func Inhomogeneous(box geom.Rect, intensity func(geom.Point) float64, maxLambda float64, rng *rand.Rand) []geom.Point {
+	if maxLambda <= 0 {
+		return nil
+	}
+	candidates := Poisson(box, maxLambda, rng)
+	out := make([]geom.Point, 0, len(candidates)/2)
+	for _, p := range candidates {
+		v := intensity(p) / maxLambda
+		if v > 1 {
+			v = 1
+		}
+		if v > 0 && rng.Float64() < v {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// LinearGradient returns an intensity function that ramps linearly from
+// lambda0 at the left edge of box to lambda1 at the right edge.
+func LinearGradient(box geom.Rect, lambda0, lambda1 float64) func(geom.Point) float64 {
+	w := box.Width()
+	return func(p geom.Point) float64 {
+		if w <= 0 {
+			return lambda0
+		}
+		f := (p.X - box.Min.X) / w
+		if f < 0 {
+			f = 0
+		}
+		if f > 1 {
+			f = 1
+		}
+		return lambda0 + f*(lambda1-lambda0)
+	}
+}
+
+// RadialHotspot returns an intensity function with peak density at center
+// decaying linearly to edge density at radius r and beyond.
+func RadialHotspot(center geom.Point, peak, edge, r float64) func(geom.Point) float64 {
+	return func(p geom.Point) float64 {
+		d := center.Dist(p)
+		if d >= r {
+			return edge
+		}
+		return peak + (edge-peak)*d/r
+	}
+}

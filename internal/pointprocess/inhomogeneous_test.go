@@ -1,0 +1,99 @@
+package pointprocess
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+func TestInhomogeneousCountMatchesIntegral(t *testing.T) {
+	g := rng.New(1)
+	box := geom.Box(20, 10)
+	grad := LinearGradient(box, 2, 10)
+	// Expected count = ∫ intensity = mean(2, 10) · area = 6 · 200 = 1200.
+	const trials = 30
+	var total float64
+	for i := 0; i < trials; i++ {
+		total += float64(len(Inhomogeneous(box, grad, 10, g)))
+	}
+	mean := total / trials
+	if math.Abs(mean-1200) > 60 {
+		t.Errorf("mean count %v want ≈1200", mean)
+	}
+}
+
+func TestInhomogeneousGradientShape(t *testing.T) {
+	g := rng.New(2)
+	box := geom.Box(20, 10)
+	pts := Inhomogeneous(box, LinearGradient(box, 1, 9), 9, g)
+	// Quartile counts should be increasing left to right ≈ 2:4:6:8.
+	var q [4]int
+	for _, p := range pts {
+		i := int(p.X / 5)
+		if i > 3 {
+			i = 3
+		}
+		q[i]++
+	}
+	for i := 1; i < 4; i++ {
+		if q[i] <= q[i-1] {
+			t.Errorf("quartiles not increasing: %v", q)
+		}
+	}
+	// Rough ratio check on the extreme quartiles (expected 2:8 = 0.25).
+	ratio := float64(q[0]) / float64(q[3])
+	if ratio < 0.15 || ratio > 0.4 {
+		t.Errorf("extreme quartile ratio %v want ≈0.25", ratio)
+	}
+}
+
+func TestInhomogeneousDegenerate(t *testing.T) {
+	g := rng.New(3)
+	box := geom.Box(5, 5)
+	if got := Inhomogeneous(box, func(geom.Point) float64 { return 1 }, 0, g); got != nil {
+		t.Error("maxLambda=0 should yield nil")
+	}
+	if got := Inhomogeneous(box, func(geom.Point) float64 { return 0 }, 5, g); len(got) != 0 {
+		t.Errorf("zero intensity should yield no points, got %d", len(got))
+	}
+	// Intensity above maxLambda is clamped — behaves like homogeneous(max).
+	over := Inhomogeneous(box, func(geom.Point) float64 { return 100 }, 4, g)
+	if math.Abs(float64(len(over))-100) > 40 {
+		t.Errorf("clamped intensity count = %d want ≈100", len(over))
+	}
+}
+
+func TestLinearGradientClamping(t *testing.T) {
+	box := geom.Box(10, 10)
+	f := LinearGradient(box, 2, 6)
+	if f(geom.Pt(0, 5)) != 2 || f(geom.Pt(10, 5)) != 6 {
+		t.Error("endpoints wrong")
+	}
+	if f(geom.Pt(5, 0)) != 4 {
+		t.Errorf("midpoint = %v", f(geom.Pt(5, 0)))
+	}
+	// Out-of-box queries clamp rather than extrapolate.
+	if f(geom.Pt(-5, 0)) != 2 || f(geom.Pt(25, 0)) != 6 {
+		t.Error("clamping failed")
+	}
+	// Degenerate zero-width box.
+	z := LinearGradient(geom.Rect{}, 3, 7)
+	if z(geom.Pt(0, 0)) != 3 {
+		t.Error("zero-width box should return lambda0")
+	}
+}
+
+func TestRadialHotspotShape(t *testing.T) {
+	f := RadialHotspot(geom.Pt(0, 0), 10, 2, 4)
+	if f(geom.Pt(0, 0)) != 10 {
+		t.Error("peak wrong")
+	}
+	if f(geom.Pt(4, 0)) != 2 || f(geom.Pt(100, 0)) != 2 {
+		t.Error("edge wrong")
+	}
+	if v := f(geom.Pt(2, 0)); math.Abs(v-6) > 1e-12 {
+		t.Errorf("midpoint = %v want 6", v)
+	}
+}

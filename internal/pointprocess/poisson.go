@@ -1,0 +1,162 @@
+// Package pointprocess generates the random point sets underlying the
+// paper's models: homogeneous Poisson point processes in rectangles (the
+// node deployments of UDG(2, λ) and NN(2, k)), binomial processes with a
+// fixed count, and independent thinning.
+//
+// The standard conditional construction is used: the number of points in a
+// rectangle A is Poisson(λ·area(A)), and given the count the points are
+// i.i.d. uniform on A. Disjoint rectangles therefore receive independent
+// point sets, which is exactly the independence the paper's tile-goodness
+// coupling relies on.
+package pointprocess
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/geom"
+)
+
+// PoissonCount samples a Poisson random variable with the given mean.
+// For small means it uses Knuth's product-of-uniforms method; for large
+// means (> 30) it uses the PTRS transformed-rejection sampler of Hörmann,
+// which is exact and O(1).
+func PoissonCount(mean float64, rng *rand.Rand) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean < 30 {
+		// Knuth: count uniforms until their product drops below e^−mean.
+		l := math.Exp(-mean)
+		k := 0
+		p := 1.0
+		for {
+			p *= rng.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	return poissonPTRS(mean, rng)
+}
+
+// poissonPTRS implements Hörmann's PTRS rejection sampler for Poisson
+// variates with mean ≥ 10 (used here for ≥ 30).
+func poissonPTRS(mu float64, rng *rand.Rand) int {
+	b := 0.931 + 2.53*math.Sqrt(mu)
+	a := -0.059 + 0.02483*b
+	invAlpha := 1.1239 + 1.1328/(b-3.4)
+	vr := 0.9277 - 3.6224/(b-2)
+	for {
+		u := rng.Float64() - 0.5
+		v := rng.Float64()
+		us := 0.5 - math.Abs(u)
+		k := math.Floor((2*a/us+b)*u + mu + 0.43)
+		if us >= 0.07 && v <= vr {
+			return int(k)
+		}
+		if k < 0 || (us < 0.013 && v > us) {
+			continue
+		}
+		if math.Log(v*invAlpha/(a/(us*us)+b)) <= k*math.Log(mu)-mu-logGamma(k+1) {
+			return int(k)
+		}
+	}
+}
+
+func logGamma(x float64) float64 {
+	lg, _ := math.Lgamma(x)
+	return lg
+}
+
+// Poisson samples a homogeneous Poisson point process of intensity lambda
+// on the rectangle box.
+func Poisson(box geom.Rect, lambda float64, rng *rand.Rand) []geom.Point {
+	n := PoissonCount(lambda*box.Area(), rng)
+	return Binomial(box, n, rng)
+}
+
+// Binomial samples n i.i.d. uniform points on the rectangle box (the
+// "binomial point process"). Conditioning a Poisson process on its count
+// yields exactly this distribution.
+func Binomial(box geom.Rect, n int, rng *rand.Rand) []geom.Point {
+	pts := make([]geom.Point, n)
+	w, h := box.Width(), box.Height()
+	for i := range pts {
+		pts[i] = geom.Point{
+			X: box.Min.X + rng.Float64()*w,
+			Y: box.Min.Y + rng.Float64()*h,
+		}
+	}
+	return pts
+}
+
+// Thin returns an independent p-thinning of the point set: each point is
+// retained independently with probability p. Thinning a Poisson(λ) process
+// yields a Poisson(pλ) process.
+func Thin(pts []geom.Point, p float64, rng *rand.Rand) []geom.Point {
+	out := make([]geom.Point, 0, int(float64(len(pts))*p)+1)
+	for _, pt := range pts {
+		if rng.Float64() < p {
+			out = append(out, pt)
+		}
+	}
+	return out
+}
+
+// CountIn returns the number of points lying in the region r.
+func CountIn(pts []geom.Point, r geom.Region) int {
+	n := 0
+	for _, p := range pts {
+		if r.Contains(p) {
+			n++
+		}
+	}
+	return n
+}
+
+// FilterIn returns the points lying in the region r.
+func FilterIn(pts []geom.Point, r geom.Region) []geom.Point {
+	var out []geom.Point
+	for _, p := range pts {
+		if r.Contains(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// VoidProbability returns the exact probability that a region of the given
+// area contains no point of a Poisson(λ) process: e^{−λ·area}.
+func VoidProbability(lambda, area float64) float64 {
+	return math.Exp(-lambda * area)
+}
+
+// OccupancyProbability returns 1 − e^{−λ·area}, the probability that a
+// region of the given area contains at least one point.
+func OccupancyProbability(lambda, area float64) float64 {
+	return -math.Expm1(-lambda * area)
+}
+
+// PoissonCDF returns P(N ≤ k) for N ~ Poisson(mean), computed by direct
+// summation of the pmf (adequate for the tile-population checks, where
+// mean ≤ a few hundred).
+func PoissonCDF(k int, mean float64) float64 {
+	if k < 0 {
+		return 0
+	}
+	if mean <= 0 {
+		return 1
+	}
+	term := math.Exp(-mean)
+	sum := term
+	for i := 1; i <= k; i++ {
+		term *= mean / float64(i)
+		sum += term
+	}
+	if sum > 1 {
+		return 1
+	}
+	return sum
+}

@@ -1,0 +1,145 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/pointprocess"
+	"repro/internal/rgg"
+	"repro/internal/rng"
+)
+
+func TestEdgeAndPathCost(t *testing.T) {
+	if got := EdgeCost(2, 3); got != 8 {
+		t.Errorf("EdgeCost = %v", got)
+	}
+	if got := EdgeCost(0, 2); got != 0 {
+		t.Errorf("EdgeCost(0) = %v", got)
+	}
+	path := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(1, 2)}
+	if got := PathCost(path, 2); got != 1+4 {
+		t.Errorf("PathCost = %v", got)
+	}
+	if got := PathCost(path[:1], 2); got != 0 {
+		t.Errorf("single-point path cost = %v", got)
+	}
+}
+
+func TestMinPathPowerPrefersShortHops(t *testing.T) {
+	// 0 —— 2 directly (length 2) or via 1 (two hops of length 1).
+	// For β ≥ 2: two short hops cost 2 < 2^β, so relaying wins.
+	pos := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(2, 0)}
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	g := b.Build()
+	got := MinPathPower(g, pos, 0, 2, 2)
+	if math.Abs(got-2) > 1e-12 {
+		t.Errorf("min power = %v want 2", got)
+	}
+	// Disconnected pair.
+	b2 := graph.NewBuilder(2)
+	if !math.IsInf(MinPathPower(b2.Build(), pos[:2], 0, 1, 2), 1) {
+		t.Error("disconnected pair should cost +Inf")
+	}
+}
+
+func TestLiWanWangBoundHoldsOnUDGSubgraphs(t *testing.T) {
+	// Build a UDG and a sparser sub-UDG (smaller radius); verify the valid
+	// per-pair facts (see LiWanWangBound's doc comment):
+	//  (a) min power ≤ (min path length)^β — power of the shortest path;
+	//  (b) with δmax the sample's Euclidean stretch factor,
+	//      p_sub(u,v) ≤ δmax^β · d(u,v)^β;
+	//  (c) the geometric sanity chain Euclid ≤ BaseLen ≤ SubLen.
+	g := rng.New(1)
+	pts := pointprocess.Poisson(geom.Box(12, 12), 3, g)
+	base := rgg.UDG(pts, 1.0)
+	sub := rgg.UDG(pts, 0.6)
+	members, _ := graph.LargestComponent(sub.CSR)
+	if len(members) < 10 {
+		t.Skip("sparse realization")
+	}
+	for _, beta := range []float64{2, 3, 5} {
+		samples, err := MeasureStretch(sub.CSR, base.CSR, pts, members, beta, 40, 4000, g)
+		if err != nil {
+			t.Fatalf("beta=%v: %v", beta, err)
+		}
+		deltaMax := 0.0
+		for _, s := range samples {
+			if es := s.EuclidStretch(); es > deltaMax {
+				deltaMax = es
+			}
+		}
+		bound := LiWanWangBound(deltaMax, beta)
+		for _, s := range samples {
+			if s.PowerStretch < 1-1e-9 {
+				t.Fatalf("beta=%v: power stretch %v below 1", beta, s.PowerStretch)
+			}
+			if s.PowerSub > EdgeCost(s.SubLen, beta)+1e-9 {
+				t.Fatalf("beta=%v: min power %v exceeds shortest-path-length power %v",
+					beta, s.PowerSub, EdgeCost(s.SubLen, beta))
+			}
+			if s.Euclid > 0 && s.PowerSub > bound*EdgeCost(s.Euclid, beta)+1e-9 {
+				t.Fatalf("beta=%v: power %v exceeds δmax^β·d^β = %v",
+					beta, s.PowerSub, bound*EdgeCost(s.Euclid, beta))
+			}
+			if s.Euclid > s.BaseLen+1e-9 || s.BaseLen > s.SubLen+1e-9 {
+				t.Fatalf("length chain violated: euclid %v base %v sub %v",
+					s.Euclid, s.BaseLen, s.SubLen)
+			}
+		}
+	}
+}
+
+func TestMeasureStretchErrors(t *testing.T) {
+	g := rng.New(2)
+	pos := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0)}
+	g2 := graph.NewBuilder(2).Build()
+	g3 := graph.NewBuilder(3).Build()
+	if _, err := MeasureStretch(g2, g3, pos, []int32{0, 1}, 2, 5, 100, g); err == nil {
+		t.Error("mismatched graphs accepted")
+	}
+	if _, err := MeasureStretch(g2, g2, pos, []int32{0}, 2, 5, 100, g); err == nil {
+		t.Error("single candidate accepted")
+	}
+	// Disconnected graph: no pairs can be sampled.
+	if _, err := MeasureStretch(g2, g2, pos, []int32{0, 1}, 2, 5, 100, g); err == nil {
+		t.Error("no-connected-pairs case should error")
+	}
+}
+
+func TestTotalEdgePower(t *testing.T) {
+	pos := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(3, 0)}
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1) // length 1
+	b.AddEdge(1, 2) // length 2
+	g := b.Build()
+	if got := TotalEdgePower(g, pos, 2); got != 1+4 {
+		t.Errorf("TotalEdgePower = %v", got)
+	}
+	if got := TotalEdgePower(g, pos, 3); got != 1+8 {
+		t.Errorf("TotalEdgePower β=3 = %v", got)
+	}
+}
+
+func TestIdenticalGraphsHaveUnitStretch(t *testing.T) {
+	g := rng.New(3)
+	pts := pointprocess.Poisson(geom.Box(8, 8), 3, g)
+	udg := rgg.UDG(pts, 1.0)
+	members, _ := graph.LargestComponent(udg.CSR)
+	if len(members) < 5 {
+		t.Skip("sparse realization")
+	}
+	samples, err := MeasureStretch(udg.CSR, udg.CSR, pts, members, 2, 20, 2000, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range samples {
+		if math.Abs(s.PowerStretch-1) > 1e-9 || math.Abs(s.DistStretch-1) > 1e-9 {
+			t.Fatalf("self-comparison stretch != 1: %+v", s)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// Package rgg builds the paper's two base interconnection structures on a
+// point set: the unit disk graph UDG(2, λ) and the undirected
+// k-nearest-neighbor graph NN(2, k).
+//
+// Following the paper's notation (§1.1):
+//
+//   - UDG(2, λ): an edge joins x and y iff d(x, y) ≤ r (r = 1 in the paper;
+//     the radius is a parameter here so experiments can rescale).
+//   - NN(2, k): each point establishes undirected edges to the k points
+//     nearest to it; the graph is the union of these relations, so degrees
+//     range from k up to ~6k (a point can be among the k nearest of many).
+//
+// Ties in the k-NN relation are measure-zero for Poisson inputs; they are
+// broken deterministically by point index, matching the paper's "any
+// tie-breaking mechanism we deem fit".
+package rgg
+
+import (
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/spatial"
+)
+
+// Geometric is a geometric graph: a CSR graph together with the vertex
+// positions that induced it.
+type Geometric struct {
+	*graph.CSR
+	Pos []geom.Point
+}
+
+// EdgeLength returns the Euclidean length of the edge {u, v}.
+func (g *Geometric) EdgeLength(u, v int32) float64 { return g.Pos[u].Dist(g.Pos[v]) }
+
+// UDG builds the unit disk graph with connection radius r over pts.
+// Expected time O(n) for Poisson inputs via a grid with cell size r.
+func UDG(pts []geom.Point, r float64) *Geometric {
+	b := graph.NewBuilder(len(pts))
+	if len(pts) > 0 && r > 0 {
+		grid := spatial.NewGrid(pts, r)
+		var buf []int32
+		for i := range pts {
+			buf = grid.Within(pts[i], r, buf[:0])
+			for _, j := range buf {
+				if j > int32(i) {
+					b.AddEdge(int32(i), j)
+				}
+			}
+		}
+	}
+	return &Geometric{CSR: b.Build(), Pos: pts}
+}
+
+// NN builds the undirected k-nearest-neighbor graph over pts. Each vertex
+// contributes edges to its k nearest distinct points (all points if fewer
+// than k others exist).
+func NN(pts []geom.Point, k int) *Geometric {
+	b := graph.NewBuilder(len(pts))
+	if len(pts) > 1 && k > 0 {
+		// The kd-tree wins over the grid for kNN at the densities the
+		// experiments use (see the spatial package benchmarks).
+		tree := spatial.NewKDTree(pts)
+		for i := range pts {
+			for _, j := range tree.KNearest(pts[i], k, i) {
+				b.AddEdge(int32(i), j)
+			}
+		}
+	}
+	return &Geometric{CSR: b.Build(), Pos: pts}
+}
+
+// OutNeighbors returns, for each vertex, its k nearest neighbors (the
+// directed k-NN relation) — used by tests to verify that NN is exactly the
+// symmetrized relation.
+func OutNeighbors(pts []geom.Point, k int) [][]int32 {
+	tree := spatial.NewKDTree(pts)
+	out := make([][]int32, len(pts))
+	for i := range pts {
+		out[i] = tree.KNearest(pts[i], k, i)
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seeds diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds produced %d identical values", same)
+	}
+}
+
+func TestDeriveIndependence(t *testing.T) {
+	// Child streams must differ from each other and from the parent.
+	parent := New(7)
+	c0 := Sub(7, 0)
+	c1 := Sub(7, 1)
+	collide := 0
+	for i := 0; i < 200; i++ {
+		p, a, b := parent.Uint64(), c0.Uint64(), c1.Uint64()
+		if p == a || p == b || a == b {
+			collide++
+		}
+	}
+	if collide > 0 {
+		t.Errorf("substreams collided %d times", collide)
+	}
+}
+
+func TestDeriveDeterministic(t *testing.T) {
+	if Derive(9, 3) != Derive(9, 3) {
+		t.Error("Derive not deterministic")
+	}
+	if Derive(9, 3) == Derive(9, 4) {
+		t.Error("Derive ignored the stream index")
+	}
+	if Derive(9, 3) == Derive(10, 3) {
+		t.Error("Derive ignored the seed")
+	}
+}
+
+func TestUniformityRough(t *testing.T) {
+	// Chi-square-ish sanity check on 16 buckets of Float64.
+	g := New(123)
+	const n = 160000
+	var buckets [16]int
+	for i := 0; i < n; i++ {
+		v := g.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+		buckets[int(v*16)]++
+	}
+	want := float64(n) / 16
+	for i, c := range buckets {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d count %d deviates from %v", i, c, want)
+		}
+	}
+}
+
+func TestSeedZeroUsable(t *testing.T) {
+	g := New(0)
+	v := g.Uint64()
+	w := g.Uint64()
+	if v == 0 && w == 0 {
+		t.Error("seed 0 produced a degenerate stream")
+	}
+}

@@ -1,0 +1,68 @@
+package routing
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lattice"
+	"repro/internal/rng"
+)
+
+// TestComputeNextProgressProperty: each x–y step reduces the L1 distance to
+// the target by exactly 1 and stays on the canonical path.
+func TestComputeNextProgressProperty(t *testing.T) {
+	f := func(raw [4]int16) bool {
+		cx, cy := int(raw[0])%50, int(raw[1])%50
+		tx, ty := int(raw[2])%50, int(raw[3])%50
+		if cx == tx && cy == ty {
+			return true
+		}
+		nx, ny := computeNext(cx, cy, tx, ty)
+		if lattice.L1(nx, ny, tx, ty) != lattice.L1(cx, cy, tx, ty)-1 {
+			return false
+		}
+		return onXYPathBeyond(cx, cy, tx, ty, nx, ny)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRouteXYTrajectoryProperty: on random supercritical lattices, a
+// delivered trajectory is a lattice walk over open sites from source to
+// target with Hops == len−1, and hops are never below the chemical
+// distance.
+func TestRouteXYTrajectoryProperty(t *testing.T) {
+	f := func(seed uint64, coords [4]uint8) bool {
+		l := lattice.Sample(14, 14, 0.8, rng.New(rng.Seed(seed)))
+		ax, ay := int(coords[0])%14, int(coords[1])%14
+		bx, by := int(coords[2])%14, int(coords[3])%14
+		res := RouteXY(l, ax, ay, bx, by, 0)
+		opt := l.ChemicalDistance(ax, ay, bx, by)
+		if !res.Delivered {
+			// Must only fail when genuinely disconnected/closed.
+			return opt < 0
+		}
+		if opt < 0 || res.Hops < opt {
+			return false
+		}
+		if len(res.Trajectory) != res.Hops+1 {
+			return false
+		}
+		if res.Trajectory[0] != l.Idx(ax, ay) ||
+			res.Trajectory[len(res.Trajectory)-1] != l.Idx(bx, by) {
+			return false
+		}
+		for i := 1; i < len(res.Trajectory); i++ {
+			px, py := l.XY(res.Trajectory[i-1])
+			qx, qy := l.XY(res.Trajectory[i])
+			if lattice.L1(px, py, qx, qy) != 1 || !l.IsOpen(qx, qy) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

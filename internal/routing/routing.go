@@ -1,0 +1,199 @@
+// Package routing implements the paper's §4.2 routing layer: the Angel–
+// Benjamini–Ofek–Wieder algorithm for the giant component of a percolated
+// mesh (Figure 9), and the adapter that runs it over a SENS network by
+// mapping tiles to lattice sites through φ and expanding each lattice hop
+// into the rep–relay–…–rep subpath (Figure 8).
+//
+// The algorithm follows the canonical x–y path (fix the x coordinate first,
+// then y). When the next site is closed it launches a distributed BFS
+// through the open cluster to find the nearest open site lying further
+// along the x–y path, ships the packet along the BFS tree, and resumes.
+// Angel et al. prove the expected number of probes is O(shortest path);
+// experiment E12 reproduces that linear relationship.
+package routing
+
+import (
+	"repro/internal/lattice"
+)
+
+// Result reports one routing attempt on the lattice.
+type Result struct {
+	// Delivered is true when the packet reached the target site.
+	Delivered bool
+	// Hops is the number of lattice edges the packet traversed.
+	Hops int
+	// Probes counts site queries: each isOpen check on a prospective next
+	// site and each site explored by recovery BFS rounds.
+	Probes int
+	// Trajectory is the sequence of open sites visited by the packet,
+	// starting at the source (inclusive).
+	Trajectory []int32
+}
+
+// Options tunes RouteXYWith.
+type Options struct {
+	// ProbeBudget caps the number of probes (≤ 0 means unlimited); routing
+	// fails once exhausted.
+	ProbeBudget int
+	// Memoize lets nodes cache probe answers: re-probing a site already
+	// probed earlier in the same routing attempt is free. This models relays
+	// remembering "is the tile over there good" answers — an ablation of
+	// the stateless Angel et al. algorithm whose savings E12 quantifies.
+	Memoize bool
+}
+
+// RouteXY routes a packet from (sx, sy) to (tx, ty) on the percolated
+// lattice l with the stateless algorithm. Both endpoints must be open;
+// routing fails (Delivered false) when the endpoints are in different open
+// clusters or when probeBudget (≤ 0 means unlimited) is exhausted.
+func RouteXY(l *lattice.Lattice, sx, sy, tx, ty int, probeBudget int) Result {
+	return RouteXYWith(l, sx, sy, tx, ty, Options{ProbeBudget: probeBudget})
+}
+
+// RouteXYWith is RouteXY with explicit options.
+func RouteXYWith(l *lattice.Lattice, sx, sy, tx, ty int, opt Options) Result {
+	res := Result{}
+	if !l.IsOpen(sx, sy) || !l.IsOpen(tx, ty) {
+		return res
+	}
+	cx, cy := sx, sy
+	res.Trajectory = append(res.Trajectory, l.Idx(cx, cy))
+	// Scratch buffers for recovery BFS.
+	visited := make([]int32, l.W*l.H) // 0 = unvisited, else BFS round + 1
+	parent := make([]int32, l.W*l.H)
+	round := int32(0)
+	var probed []bool
+	if opt.Memoize {
+		probed = make([]bool, l.W*l.H)
+	}
+	charge := func(i int32) {
+		if probed != nil {
+			if probed[i] {
+				return
+			}
+			probed[i] = true
+		}
+		res.Probes++
+	}
+
+	budgetLeft := func() bool {
+		return opt.ProbeBudget <= 0 || res.Probes < opt.ProbeBudget
+	}
+
+	for cx != tx || cy != ty {
+		if !budgetLeft() {
+			return res
+		}
+		nx, ny := computeNext(cx, cy, tx, ty)
+		charge(l.Idx(nx, ny)) // isOpen(next)
+		if l.IsOpen(nx, ny) {
+			cx, cy = nx, ny
+			res.Hops++
+			res.Trajectory = append(res.Trajectory, l.Idx(cx, cy))
+			continue
+		}
+		// Recovery: distributed BFS from curr through the open cluster for
+		// an open site strictly further along the x–y path.
+		round++
+		src := l.Idx(cx, cy)
+		visited[src] = round
+		parent[src] = -1
+		queue := []int32{src}
+		found := int32(-1)
+		for head := 0; head < len(queue) && found < 0; head++ {
+			i := queue[head]
+			x, y := l.XY(i)
+			for d := 0; d < 4; d++ {
+				nx, ny := x+dx4[d], y+dy4[d]
+				if nx < 0 || nx >= l.W || ny < 0 || ny >= l.H {
+					continue
+				}
+				ni := l.Idx(nx, ny)
+				if visited[ni] == round {
+					continue
+				}
+				visited[ni] = round
+				charge(ni) // probing this site costs a message
+				if !budgetLeft() {
+					return res
+				}
+				if !l.IsOpen(nx, ny) {
+					continue
+				}
+				parent[ni] = i
+				if ni != src && onXYPathBeyond(cx, cy, tx, ty, nx, ny) {
+					found = ni
+					break
+				}
+				queue = append(queue, ni)
+			}
+		}
+		if found < 0 {
+			// Open cluster exhausted: target unreachable.
+			return res
+		}
+		// Ship the packet along the BFS tree path curr → found.
+		var rev []int32
+		for i := found; i != src; i = parent[i] {
+			rev = append(rev, i)
+		}
+		for j := len(rev) - 1; j >= 0; j-- {
+			res.Hops++
+			res.Trajectory = append(res.Trajectory, rev[j])
+		}
+		cx, cy = l.XY(found)
+	}
+	res.Delivered = true
+	return res
+}
+
+var dx4 = [4]int{1, -1, 0, 0}
+var dy4 = [4]int{0, 0, 1, -1}
+
+// computeNext returns the next site along the canonical x–y path from
+// (cx, cy) to (tx, ty): fix x first, then y.
+func computeNext(cx, cy, tx, ty int) (int, int) {
+	if cx < tx {
+		return cx + 1, cy
+	}
+	if cx > tx {
+		return cx - 1, cy
+	}
+	if cy < ty {
+		return cx, cy + 1
+	}
+	return cx, cy - 1
+}
+
+// onXYPathBeyond reports whether site (x, y) lies on the x–y path from
+// (cx, cy) to (tx, ty) strictly beyond (cx, cy). The path is the horizontal
+// segment (cx..tx, cy) followed by the vertical segment (tx, cy..ty).
+func onXYPathBeyond(cx, cy, tx, ty, x, y int) bool {
+	if x == cx && y == cy {
+		return false
+	}
+	// Horizontal leg.
+	if y == cy && between(cx, tx, x) {
+		return true
+	}
+	// Vertical leg.
+	if x == tx && between(cy, ty, y) {
+		return true
+	}
+	return false
+}
+
+// between reports a ≤ v ≤ b or b ≤ v ≤ a.
+func between(a, b, v int) bool {
+	if a <= b {
+		return v >= a && v <= b
+	}
+	return v >= b && v <= a
+}
+
+// ShortestOpenPath returns the optimal (BFS) hop count between two open
+// sites, or −1 if disconnected — the baseline the probe bound is measured
+// against.
+func ShortestOpenPath(l *lattice.Lattice, sx, sy, tx, ty int) int {
+	return l.ChemicalDistance(sx, sy, tx, ty)
+}

@@ -1,0 +1,143 @@
+// Package simnet is a small discrete-event message-passing simulator used
+// to run the distributed pieces of the paper — construction handshakes,
+// leader election rounds, routing probes — with explicit message and time
+// accounting, which is what makes the locality property P4 measurable
+// rather than assumed.
+//
+// The model is standard: events (message deliveries and timers) are ordered
+// by (time, sequence) so execution is deterministic; each node is a Handler
+// invoked when a message arrives; handlers may send further messages or set
+// timers.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// NodeID identifies a simulated node.
+type NodeID int32
+
+// Message is a delivered payload.
+type Message struct {
+	From, To NodeID
+	Payload  any
+}
+
+// Handler processes messages delivered to a node.
+type Handler interface {
+	HandleMessage(net *Network, msg Message)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(net *Network, msg Message)
+
+// HandleMessage calls f.
+func (f HandlerFunc) HandleMessage(net *Network, msg Message) { f(net, msg) }
+
+// Network is the event queue and node registry.
+type Network struct {
+	now      float64
+	seq      int64
+	queue    eventHeap
+	handlers map[NodeID]Handler
+
+	// Delay is the message latency applied by Send (default 1).
+	Delay float64
+
+	// Counters.
+	MessagesSent      int
+	MessagesDelivered int
+	Dropped           int // messages to unregistered nodes
+}
+
+type event struct {
+	at    float64
+	seq   int64
+	msg   Message
+	timer func(*Network)
+}
+
+// New creates an empty network with unit message delay.
+func New() *Network {
+	return &Network{handlers: make(map[NodeID]Handler), Delay: 1}
+}
+
+// Now returns the current simulation time.
+func (n *Network) Now() float64 { return n.now }
+
+// Register installs the handler for a node, replacing any previous one.
+func (n *Network) Register(id NodeID, h Handler) { n.handlers[id] = h }
+
+// Send schedules delivery of a message after the network delay.
+func (n *Network) Send(from, to NodeID, payload any) {
+	n.MessagesSent++
+	n.push(event{at: n.now + n.Delay, msg: Message{From: from, To: to, Payload: payload}})
+}
+
+// After schedules fn to run after the given delay.
+func (n *Network) After(delay float64, fn func(*Network)) {
+	if delay < 0 {
+		delay = 0
+	}
+	n.push(event{at: n.now + delay, timer: fn})
+}
+
+func (n *Network) push(e event) {
+	e.seq = n.seq
+	n.seq++
+	heap.Push(&n.queue, e)
+}
+
+// Run processes events until the queue is empty or maxEvents have been
+// handled; it returns the number of events processed. maxEvents ≤ 0 means
+// no limit.
+func (n *Network) Run(maxEvents int) int {
+	processed := 0
+	for n.queue.Len() > 0 {
+		if maxEvents > 0 && processed >= maxEvents {
+			break
+		}
+		e := heap.Pop(&n.queue).(event)
+		if e.at < n.now {
+			panic(fmt.Sprintf("simnet: time went backwards: %v < %v", e.at, n.now))
+		}
+		n.now = e.at
+		processed++
+		if e.timer != nil {
+			e.timer(n)
+			continue
+		}
+		h, ok := n.handlers[e.msg.To]
+		if !ok {
+			n.Dropped++
+			continue
+		}
+		n.MessagesDelivered++
+		h.HandleMessage(n, e.msg)
+	}
+	return processed
+}
+
+// Pending returns the number of undelivered events.
+func (n *Network) Pending() int { return n.queue.Len() }
+
+// eventHeap orders events by (time, sequence).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,126 @@
+package simnet
+
+import (
+	"testing"
+)
+
+func TestPingPong(t *testing.T) {
+	net := New()
+	var log []string
+	net.Register(1, HandlerFunc(func(n *Network, m Message) {
+		log = append(log, "1 got "+m.Payload.(string))
+		if m.Payload.(string) == "ping" {
+			n.Send(1, 2, "pong")
+		}
+	}))
+	net.Register(2, HandlerFunc(func(n *Network, m Message) {
+		log = append(log, "2 got "+m.Payload.(string))
+	}))
+	net.Send(2, 1, "ping")
+	processed := net.Run(0)
+	if processed != 2 {
+		t.Errorf("processed = %d", processed)
+	}
+	if len(log) != 2 || log[0] != "1 got ping" || log[1] != "2 got pong" {
+		t.Errorf("log = %v", log)
+	}
+	if net.MessagesSent != 2 || net.MessagesDelivered != 2 {
+		t.Errorf("counters: sent %d delivered %d", net.MessagesSent, net.MessagesDelivered)
+	}
+}
+
+func TestTimeAdvancesWithDelay(t *testing.T) {
+	net := New()
+	net.Delay = 2.5
+	var at float64
+	net.Register(1, HandlerFunc(func(n *Network, m Message) { at = n.Now() }))
+	net.Send(0, 1, nil)
+	net.Run(0)
+	if at != 2.5 {
+		t.Errorf("delivery time = %v", at)
+	}
+}
+
+func TestTimers(t *testing.T) {
+	net := New()
+	var order []int
+	net.After(5, func(n *Network) { order = append(order, 2) })
+	net.After(1, func(n *Network) { order = append(order, 1) })
+	net.After(1, func(n *Network) { order = append(order, 3) }) // same time: FIFO by seq
+	net.Run(0)
+	if len(order) != 3 || order[0] != 1 || order[1] != 3 || order[2] != 2 {
+		t.Errorf("order = %v", order)
+	}
+	if net.Now() != 5 {
+		t.Errorf("final time = %v", net.Now())
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	net := New()
+	ran := false
+	net.After(-3, func(n *Network) { ran = true })
+	net.Run(0)
+	if !ran || net.Now() != 0 {
+		t.Errorf("negative-delay timer: ran=%v now=%v", ran, net.Now())
+	}
+}
+
+func TestUnregisteredDrops(t *testing.T) {
+	net := New()
+	net.Send(0, 99, "void")
+	net.Run(0)
+	if net.Dropped != 1 || net.MessagesDelivered != 0 {
+		t.Errorf("dropped=%d delivered=%d", net.Dropped, net.MessagesDelivered)
+	}
+}
+
+func TestMaxEventsLimit(t *testing.T) {
+	net := New()
+	// Self-perpetuating timer chain.
+	var tick func(*Network)
+	count := 0
+	tick = func(n *Network) {
+		count++
+		n.After(1, tick)
+	}
+	net.After(0, tick)
+	processed := net.Run(10)
+	if processed != 10 || count != 10 {
+		t.Errorf("processed=%d count=%d", processed, count)
+	}
+	if net.Pending() != 1 {
+		t.Errorf("pending = %d", net.Pending())
+	}
+}
+
+func TestDeterministicOrdering(t *testing.T) {
+	run := func() []int {
+		net := New()
+		var order []int
+		for id := NodeID(0); id < 10; id++ {
+			captured := int(id)
+			net.Register(id, HandlerFunc(func(n *Network, m Message) {
+				order = append(order, captured)
+			}))
+		}
+		for id := NodeID(9); id >= 0; id-- {
+			net.Send(-1, id, nil) // all at the same delivery time
+		}
+		net.Run(0)
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != 10 || len(b) != 10 {
+		t.Fatal("wrong event counts")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic ordering: %v vs %v", a, b)
+		}
+		// Same-time messages deliver in send order: 9, 8, …, 0.
+		if a[i] != 9-i {
+			t.Fatalf("FIFO violated: %v", a)
+		}
+	}
+}

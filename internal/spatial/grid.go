@@ -1,0 +1,304 @@
+// Package spatial provides spatial indexes over 2D point sets: a uniform
+// grid (cell list) and a kd-tree, both supporting range queries (all points
+// within radius r) and k-nearest-neighbor queries.
+//
+// The unit-disk-graph builder wants radius queries at a fixed radius, for
+// which the grid with cell size = radius is optimal (O(1) expected work per
+// reported neighbor under a Poisson process). The k-NN graph builder wants
+// kNN queries, for which both indexes are provided and benchmarked against
+// each other; results are property-tested against brute force.
+package spatial
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Grid is a uniform-cell spatial index over a fixed point set.
+type Grid struct {
+	pts    []geom.Point
+	bounds geom.Rect
+	cell   float64
+	nx, ny int
+	cellOf []int32 // cell index per point
+	start  []int32 // CSR offsets into order, len nx*ny+1
+	order  []int32 // point indices grouped by cell
+}
+
+// NewGrid indexes pts with the given cell size. The bounds are computed from
+// the data; cell must be positive.
+func NewGrid(pts []geom.Point, cell float64) *Grid {
+	if cell <= 0 {
+		panic("spatial: non-positive cell size")
+	}
+	g := &Grid{pts: pts, cell: cell}
+	if len(pts) == 0 {
+		g.bounds = geom.Rect{}
+		g.nx, g.ny = 1, 1
+		g.start = make([]int32, 2)
+		return g
+	}
+	b := geom.Rect{Min: pts[0], Max: pts[0]}
+	for _, p := range pts[1:] {
+		if p.X < b.Min.X {
+			b.Min.X = p.X
+		}
+		if p.Y < b.Min.Y {
+			b.Min.Y = p.Y
+		}
+		if p.X > b.Max.X {
+			b.Max.X = p.X
+		}
+		if p.Y > b.Max.Y {
+			b.Max.Y = p.Y
+		}
+	}
+	g.bounds = b
+	g.nx = int(b.Width()/cell) + 1
+	g.ny = int(b.Height()/cell) + 1
+	// Counting sort points into cells (CSR layout).
+	g.cellOf = make([]int32, len(pts))
+	counts := make([]int32, g.nx*g.ny+1)
+	for i, p := range pts {
+		c := int32(g.cellIndex(p))
+		g.cellOf[i] = c
+		counts[c+1]++
+	}
+	for i := 1; i < len(counts); i++ {
+		counts[i] += counts[i-1]
+	}
+	g.start = counts
+	g.order = make([]int32, len(pts))
+	fill := make([]int32, g.nx*g.ny)
+	for i := range pts {
+		c := g.cellOf[i]
+		g.order[g.start[c]+fill[c]] = int32(i)
+		fill[c]++
+	}
+	return g
+}
+
+// Len returns the number of indexed points.
+func (g *Grid) Len() int { return len(g.pts) }
+
+// Points returns the indexed point slice (not a copy).
+func (g *Grid) Points() []geom.Point { return g.pts }
+
+func (g *Grid) cellCoords(p geom.Point) (int, int) {
+	cx := int((p.X - g.bounds.Min.X) / g.cell)
+	cy := int((p.Y - g.bounds.Min.Y) / g.cell)
+	if cx < 0 {
+		cx = 0
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cx >= g.nx {
+		cx = g.nx - 1
+	}
+	if cy >= g.ny {
+		cy = g.ny - 1
+	}
+	return cx, cy
+}
+
+func (g *Grid) cellIndex(p geom.Point) int {
+	cx, cy := g.cellCoords(p)
+	return cy*g.nx + cx
+}
+
+// Within appends to dst the indices of all points within distance r of q
+// (including any indexed point equal to q) and returns the extended slice.
+func (g *Grid) Within(q geom.Point, r float64, dst []int32) []int32 {
+	if len(g.pts) == 0 {
+		return dst
+	}
+	r2 := r * r
+	cx0 := int(math.Floor((q.X - r - g.bounds.Min.X) / g.cell))
+	cx1 := int(math.Floor((q.X + r - g.bounds.Min.X) / g.cell))
+	cy0 := int(math.Floor((q.Y - r - g.bounds.Min.Y) / g.cell))
+	cy1 := int(math.Floor((q.Y + r - g.bounds.Min.Y) / g.cell))
+	cx0 = clampInt(cx0, 0, g.nx-1)
+	cx1 = clampInt(cx1, 0, g.nx-1)
+	cy0 = clampInt(cy0, 0, g.ny-1)
+	cy1 = clampInt(cy1, 0, g.ny-1)
+	for cy := cy0; cy <= cy1; cy++ {
+		rowBase := cy * g.nx
+		for cx := cx0; cx <= cx1; cx++ {
+			c := rowBase + cx
+			for _, i := range g.order[g.start[c]:g.start[c+1]] {
+				if g.pts[i].Dist2(q) <= r2 {
+					dst = append(dst, i)
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// KNearest returns the indices of the k points nearest to q, excluding any
+// point whose index equals exclude (pass −1 to exclude nothing). Results are
+// sorted by increasing distance. Fewer than k indices are returned if the
+// index holds fewer eligible points.
+func (g *Grid) KNearest(q geom.Point, k int, exclude int) []int32 {
+	if k <= 0 || len(g.pts) == 0 {
+		return nil
+	}
+	// Expanding ring search: examine cells in growing L∞ rings around q's
+	// cell; once k candidates are found, expand until the ring's minimum
+	// possible distance exceeds the current k-th distance.
+	h := newMaxHeap(k)
+	cx, cy := g.cellCoords(q)
+	maxRing := g.nx
+	if g.ny > maxRing {
+		maxRing = g.ny
+	}
+	for ring := 0; ring <= maxRing; ring++ {
+		if h.full() {
+			// Minimum distance from q to any cell in this ring.
+			minDist := (float64(ring - 1)) * g.cell
+			if ring > 0 && minDist > 0 && minDist*minDist > h.top() {
+				break
+			}
+		}
+		g.visitRing(cx, cy, ring, func(c int) {
+			for _, i := range g.order[g.start[c]:g.start[c+1]] {
+				if int(i) == exclude {
+					continue
+				}
+				h.push(g.pts[i].Dist2(q), i)
+			}
+		})
+	}
+	return h.sortedIndices()
+}
+
+// visitRing invokes f on each valid cell index at L∞ ring distance `ring`
+// from (cx, cy).
+func (g *Grid) visitRing(cx, cy, ring int, f func(cell int)) {
+	if ring == 0 {
+		if cx >= 0 && cx < g.nx && cy >= 0 && cy < g.ny {
+			f(cy*g.nx + cx)
+		}
+		return
+	}
+	x0, x1 := cx-ring, cx+ring
+	y0, y1 := cy-ring, cy+ring
+	for x := x0; x <= x1; x++ {
+		if x < 0 || x >= g.nx {
+			continue
+		}
+		if y0 >= 0 && y0 < g.ny {
+			f(y0*g.nx + x)
+		}
+		if y1 >= 0 && y1 < g.ny {
+			f(y1*g.nx + x)
+		}
+	}
+	for y := y0 + 1; y <= y1-1; y++ {
+		if y < 0 || y >= g.ny {
+			continue
+		}
+		if x0 >= 0 && x0 < g.nx {
+			f(y*g.nx + x0)
+		}
+		if x1 >= 0 && x1 < g.nx {
+			f(y*g.nx + x1)
+		}
+	}
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// maxHeap is a bounded max-heap on (dist2, index) keeping the k smallest.
+type maxHeap struct {
+	k   int
+	d   []float64
+	idx []int32
+}
+
+func newMaxHeap(k int) *maxHeap {
+	return &maxHeap{k: k, d: make([]float64, 0, k), idx: make([]int32, 0, k)}
+}
+
+func (h *maxHeap) full() bool   { return len(h.d) >= h.k }
+func (h *maxHeap) top() float64 { return h.d[0] }
+
+func (h *maxHeap) push(d float64, i int32) {
+	if len(h.d) < h.k {
+		h.d = append(h.d, d)
+		h.idx = append(h.idx, i)
+		h.up(len(h.d) - 1)
+		return
+	}
+	if d >= h.d[0] {
+		return
+	}
+	h.d[0], h.idx[0] = d, i
+	h.down(0)
+}
+
+func (h *maxHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.d[p] >= h.d[i] {
+			break
+		}
+		h.d[p], h.d[i] = h.d[i], h.d[p]
+		h.idx[p], h.idx[i] = h.idx[i], h.idx[p]
+		i = p
+	}
+}
+
+func (h *maxHeap) down(i int) {
+	n := len(h.d)
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < n && h.d[l] > h.d[big] {
+			big = l
+		}
+		if r < n && h.d[r] > h.d[big] {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		h.d[big], h.d[i] = h.d[i], h.d[big]
+		h.idx[big], h.idx[i] = h.idx[i], h.idx[big]
+		i = big
+	}
+}
+
+// sortedIndices drains the heap, returning indices by increasing distance.
+func (h *maxHeap) sortedIndices() []int32 {
+	type pair struct {
+		d float64
+		i int32
+	}
+	ps := make([]pair, len(h.d))
+	for j := range h.d {
+		ps[j] = pair{h.d[j], h.idx[j]}
+	}
+	sort.Slice(ps, func(a, b int) bool {
+		if ps[a].d != ps[b].d {
+			return ps[a].d < ps[b].d
+		}
+		return ps[a].i < ps[b].i
+	})
+	out := make([]int32, len(ps))
+	for j, p := range ps {
+		out[j] = p.i
+	}
+	return out
+}

@@ -1,0 +1,191 @@
+package spatial
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// KDTree is a static 2D kd-tree over a point set, built once and queried
+// many times. Nodes are stored in a flat array (implicit tree) for cache
+// friendliness; construction is O(n log n) via median partitioning.
+type KDTree struct {
+	pts   []geom.Point
+	nodes []kdNode
+	root  int32
+}
+
+type kdNode struct {
+	point       int32 // index into pts
+	left, right int32 // node indices, −1 for none
+	axis        uint8 // 0 = X, 1 = Y
+}
+
+// NewKDTree builds a kd-tree over pts.
+func NewKDTree(pts []geom.Point) *KDTree {
+	t := &KDTree{pts: pts, root: -1}
+	if len(pts) == 0 {
+		return t
+	}
+	idx := make([]int32, len(pts))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	t.nodes = make([]kdNode, 0, len(pts))
+	t.root = t.build(idx, 0)
+	return t
+}
+
+func (t *KDTree) build(idx []int32, depth int) int32 {
+	if len(idx) == 0 {
+		return -1
+	}
+	axis := uint8(depth % 2)
+	mid := len(idx) / 2
+	// nth_element-style partial sort: full sort is fine for construction
+	// (O(n log² n) total) and keeps the code simple and allocation-light.
+	if axis == 0 {
+		sort.Slice(idx, func(a, b int) bool {
+			pa, pb := t.pts[idx[a]], t.pts[idx[b]]
+			if pa.X != pb.X {
+				return pa.X < pb.X
+			}
+			return idx[a] < idx[b]
+		})
+	} else {
+		sort.Slice(idx, func(a, b int) bool {
+			pa, pb := t.pts[idx[a]], t.pts[idx[b]]
+			if pa.Y != pb.Y {
+				return pa.Y < pb.Y
+			}
+			return idx[a] < idx[b]
+		})
+	}
+	n := kdNode{point: idx[mid], axis: axis, left: -1, right: -1}
+	self := int32(len(t.nodes))
+	t.nodes = append(t.nodes, n)
+	left := t.build(idx[:mid], depth+1)
+	right := t.build(idx[mid+1:], depth+1)
+	t.nodes[self].left = left
+	t.nodes[self].right = right
+	return self
+}
+
+// Len returns the number of indexed points.
+func (t *KDTree) Len() int { return len(t.pts) }
+
+// Within appends to dst the indices of all points within distance r of q and
+// returns the extended slice.
+func (t *KDTree) Within(q geom.Point, r float64, dst []int32) []int32 {
+	if t.root < 0 {
+		return dst
+	}
+	r2 := r * r
+	var rec func(ni int32)
+	rec = func(ni int32) {
+		if ni < 0 {
+			return
+		}
+		n := &t.nodes[ni]
+		p := t.pts[n.point]
+		if p.Dist2(q) <= r2 {
+			dst = append(dst, n.point)
+		}
+		var delta float64
+		if n.axis == 0 {
+			delta = q.X - p.X
+		} else {
+			delta = q.Y - p.Y
+		}
+		near, far := n.left, n.right
+		if delta > 0 {
+			near, far = far, near
+		}
+		rec(near)
+		if delta*delta <= r2 {
+			rec(far)
+		}
+	}
+	rec(t.root)
+	return dst
+}
+
+// KNearest returns the indices of the k points nearest to q, excluding any
+// point whose index equals exclude (−1 to exclude nothing), sorted by
+// increasing distance.
+func (t *KDTree) KNearest(q geom.Point, k int, exclude int) []int32 {
+	if k <= 0 || t.root < 0 {
+		return nil
+	}
+	h := newMaxHeap(k)
+	var rec func(ni int32)
+	rec = func(ni int32) {
+		if ni < 0 {
+			return
+		}
+		n := &t.nodes[ni]
+		p := t.pts[n.point]
+		if int(n.point) != exclude {
+			h.push(p.Dist2(q), n.point)
+		}
+		var delta float64
+		if n.axis == 0 {
+			delta = q.X - p.X
+		} else {
+			delta = q.Y - p.Y
+		}
+		near, far := n.left, n.right
+		if delta > 0 {
+			near, far = far, near
+		}
+		rec(near)
+		if !h.full() || delta*delta <= h.top() {
+			rec(far)
+		}
+	}
+	rec(t.root)
+	return h.sortedIndices()
+}
+
+// BruteWithin returns (for testing and small inputs) the indices of points
+// within r of q by exhaustive scan, in index order.
+func BruteWithin(pts []geom.Point, q geom.Point, r float64) []int32 {
+	r2 := r * r
+	var out []int32
+	for i, p := range pts {
+		if p.Dist2(q) <= r2 {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+// BruteKNearest returns the k nearest points to q by exhaustive scan,
+// excluding index exclude, sorted by increasing distance (ties by index).
+func BruteKNearest(pts []geom.Point, q geom.Point, k int, exclude int) []int32 {
+	type pair struct {
+		d float64
+		i int32
+	}
+	ps := make([]pair, 0, len(pts))
+	for i, p := range pts {
+		if i == exclude {
+			continue
+		}
+		ps = append(ps, pair{p.Dist2(q), int32(i)})
+	}
+	sort.Slice(ps, func(a, b int) bool {
+		if ps[a].d != ps[b].d {
+			return ps[a].d < ps[b].d
+		}
+		return ps[a].i < ps[b].i
+	})
+	if k > len(ps) {
+		k = len(ps)
+	}
+	out := make([]int32, k)
+	for i := 0; i < k; i++ {
+		out[i] = ps[i].i
+	}
+	return out
+}

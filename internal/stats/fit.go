@@ -1,0 +1,204 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// LinearFit holds an ordinary-least-squares fit y ≈ Slope·x + Intercept.
+type LinearFit struct {
+	Slope, Intercept float64
+	R2               float64 // coefficient of determination
+	N                int
+}
+
+// FitLinear computes the least-squares line through (x, y) pairs.
+func FitLinear(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) {
+		return LinearFit{}, errors.New("stats: mismatched sample lengths")
+	}
+	n := len(xs)
+	if n < 2 {
+		return LinearFit{}, errors.New("stats: need at least 2 points for a linear fit")
+	}
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{}, errors.New("stats: degenerate x values")
+	}
+	slope := sxy / sxx
+	fit := LinearFit{
+		Slope:     slope,
+		Intercept: my - slope*mx,
+		N:         n,
+	}
+	if syy > 0 {
+		fit.R2 = sxy * sxy / (sxx * syy)
+	} else {
+		fit.R2 = 1 // all ys equal and fitted exactly
+	}
+	return fit, nil
+}
+
+// Predict evaluates the fitted line at x.
+func (f LinearFit) Predict(x float64) float64 { return f.Slope*x + f.Intercept }
+
+// ExpDecayFit holds a fit of the exponential-decay model y ≈ A·exp(−c·x),
+// obtained by a log-linear least-squares fit on the positive observations.
+// Rate is c (positive for genuine decay).
+type ExpDecayFit struct {
+	A, Rate float64
+	R2      float64
+	N       int // number of positive observations actually used
+}
+
+// FitExpDecay fits y ≈ A·exp(−Rate·x) to the pairs with y > 0.
+// This is the model of the paper's coverage theorem (Theorem 3.3) and
+// stretch-tail theorem (Theorem 3.2).
+func FitExpDecay(xs, ys []float64) (ExpDecayFit, error) {
+	if len(xs) != len(ys) {
+		return ExpDecayFit{}, errors.New("stats: mismatched sample lengths")
+	}
+	var fx, fy []float64
+	for i := range xs {
+		if ys[i] > 0 {
+			fx = append(fx, xs[i])
+			fy = append(fy, math.Log(ys[i]))
+		}
+	}
+	lin, err := FitLinear(fx, fy)
+	if err != nil {
+		return ExpDecayFit{}, err
+	}
+	return ExpDecayFit{
+		A:    math.Exp(lin.Intercept),
+		Rate: -lin.Slope,
+		R2:   lin.R2,
+		N:    lin.N,
+	}, nil
+}
+
+// Predict evaluates the fitted decay curve at x.
+func (f ExpDecayFit) Predict(x float64) float64 { return f.A * math.Exp(-f.Rate*x) }
+
+// MonotoneThreshold locates, by bisection, the input x in [lo, hi] at which
+// the (noisy, assumed increasing) function f crosses the level target.
+// It evaluates f at most maxEval times and returns the bracketing midpoint.
+// f should return an empirical estimate in [0, 1]; tolX controls the
+// termination width.
+func MonotoneThreshold(f func(x float64) float64, lo, hi, target, tolX float64, maxEval int) float64 {
+	flo := f(lo)
+	fhi := f(hi)
+	evals := 2
+	// If the bracket does not straddle the target, return the nearer end.
+	if flo >= target {
+		return lo
+	}
+	if fhi < target {
+		return hi
+	}
+	for hi-lo > tolX && evals < maxEval {
+		mid := (lo + hi) / 2
+		if f(mid) >= target {
+			hi = mid
+		} else {
+			lo = mid
+		}
+		evals++
+	}
+	return (lo + hi) / 2
+}
+
+// Histogram is a fixed-bin histogram over [Lo, Hi).
+type Histogram struct {
+	Lo, Hi   float64
+	Counts   []int
+	Under    int // observations < Lo
+	Over     int // observations ≥ Hi
+	NSamples int
+}
+
+// NewHistogram creates a histogram with n bins over [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 {
+		n = 1
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, n)}
+}
+
+// Add records an observation.
+func (h *Histogram) Add(x float64) {
+	h.NSamples++
+	if x < h.Lo {
+		h.Under++
+		return
+	}
+	if x >= h.Hi {
+		h.Over++
+		return
+	}
+	i := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+}
+
+// BinCenter returns the center of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// Fraction returns the fraction of all samples landing in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.NSamples == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.NSamples)
+}
+
+// Mode returns the index of the most populated bin.
+func (h *Histogram) Mode() int {
+	best, bi := -1, 0
+	for i, c := range h.Counts {
+		if c > best {
+			best, bi = c, i
+		}
+	}
+	return bi
+}
+
+// CCDF returns, for each bin boundary, the empirical complementary CDF
+// P(X ≥ boundary), including Under/Over mass.
+func (h *Histogram) CCDF() (boundaries, ccdf []float64) {
+	n := len(h.Counts)
+	w := (h.Hi - h.Lo) / float64(n)
+	boundaries = make([]float64, n+1)
+	ccdf = make([]float64, n+1)
+	total := float64(h.NSamples)
+	if total == 0 {
+		total = 1
+	}
+	// Counts at or above each boundary.
+	tail := h.Over
+	for i := n; i >= 0; i-- {
+		boundaries[i] = h.Lo + float64(i)*w
+		ccdf[i] = float64(tail) / total
+		if i > 0 {
+			tail += h.Counts[i-1]
+		}
+	}
+	return boundaries, ccdf
+}

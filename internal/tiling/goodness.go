@@ -1,0 +1,52 @@
+package tiling
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/geom"
+	"repro/internal/pointprocess"
+	"repro/internal/stats"
+)
+
+// MonteCarloGoodProbability estimates the probability that a single tile of
+// the given side is good under a Poisson process of intensity lambda, for an
+// arbitrary goodness predicate over tile-local points. Each trial draws an
+// independent tile realization — exactly the i.i.d. tile structure the
+// site-percolation coupling requires.
+func MonteCarloGoodProbability(side, lambda float64, good func([]geom.Point) bool, trials int, rng *rand.Rand) stats.Proportion {
+	half := side / 2
+	tile := geom.NewRect(geom.Pt(-half, -half), geom.Pt(half, half))
+	k := 0
+	for t := 0; t < trials; t++ {
+		pts := pointprocess.Poisson(tile, lambda, rng)
+		if good(pts) {
+			k++
+		}
+	}
+	return stats.NewProportion(k, trials)
+}
+
+// AssignTiles groups point indices by the tile containing them under the
+// given map, returning only tiles inside the mapped window. The returned
+// slices index into pts.
+func AssignTiles(m Map, pts []geom.Point) map[Coord][]int32 {
+	out := make(map[Coord][]int32)
+	for i, p := range pts {
+		c := m.Tiling.TileOf(p)
+		if _, _, ok := m.Phi(c); !ok {
+			continue
+		}
+		out[c] = append(out[c], int32(i))
+	}
+	return out
+}
+
+// LocalPoints converts the given point indices into tile-local coordinates.
+func LocalPoints(m Map, c Coord, pts []geom.Point, idx []int32, dst []geom.Point) []geom.Point {
+	center := m.Tiling.Center(c)
+	dst = dst[:0]
+	for _, i := range idx {
+		dst = append(dst, pts[i].Sub(center))
+	}
+	return dst
+}

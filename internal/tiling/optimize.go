@@ -1,0 +1,85 @@
+package tiling
+
+import "math"
+
+// OptimizeUDGSpec searches the feasible repaired-geometry family for the
+// parameters minimizing the percolation threshold λs — the paper's stated
+// future-work direction of bringing λs closer to the true λc.
+//
+// The family (DESIGN.md §2): center radius r0, relay radius re, relay
+// offset xe, tile side a, subject to
+//
+//	xe ≥ r0 + re           (relay disjoint from C0)
+//	xe ≤ radius − r0 − re  (rep ↔ relay reach)
+//	2(xe + re) ≤ a ≤ radius + 2xe − 2re  (inside tile; cross-boundary reach)
+//
+// P(good) = occ(πr0²)·occ(πre²)⁴ depends only on (r0, re), and is maximized
+// at fixed re by the largest feasible r0 = 1/2 − re (taking xe = 1/2, which
+// then forces a ∈ [1 + 2re, 2 − 2re], nonempty iff re ≤ 1/4). So the search
+// is one-dimensional over re ∈ (0, 1/4]; λs(re) is strictly unimodal and a
+// golden-section search converges fast.
+//
+// Returns the optimal spec (with a set to its smallest feasible value,
+// which maximizes tiles per unit area and hence coverage resolution) and
+// its λs.
+func OptimizeUDGSpec(pc float64) (UDGSpec, float64) {
+	lambdaSFor := func(re float64) float64 {
+		s := specForRe(re)
+		return s.LambdaS(pc)
+	}
+	// Golden-section search on re ∈ [0.02, 0.25].
+	const (
+		lo0 = 0.02
+		hi0 = 0.25
+		phi = 0.6180339887498949
+	)
+	lo, hi := lo0, hi0
+	x1 := hi - phi*(hi-lo)
+	x2 := lo + phi*(hi-lo)
+	f1, f2 := lambdaSFor(x1), lambdaSFor(x2)
+	for hi-lo > 1e-6 {
+		if f1 < f2 {
+			hi, x2, f2 = x2, x1, f1
+			x1 = hi - phi*(hi-lo)
+			f1 = lambdaSFor(x1)
+		} else {
+			lo, x1, f1 = x1, x2, f2
+			x2 = lo + phi*(hi-lo)
+			f2 = lambdaSFor(x2)
+		}
+	}
+	re := (lo + hi) / 2
+	spec := specForRe(re)
+	return spec, spec.LambdaS(pc)
+}
+
+// specForRe builds the re-parameterized feasible spec: r0 = 1/2 − re,
+// xe = 1/2, a = 1 + 2re (the smallest feasible side).
+func specForRe(re float64) UDGSpec {
+	return UDGSpec{
+		Mode:   GeometryRepaired,
+		Side:   1 + 2*re,
+		R0:     0.5 - re,
+		Re:     re,
+		Xe:     0.5,
+		Radius: 1,
+	}
+}
+
+// LambdaSForParams returns the threshold λs for an arbitrary feasible
+// (r0, re) pair with xe = radius − r0 − re and the smallest feasible side,
+// or +Inf when the pair is infeasible. Used by the E15 ablation table.
+func LambdaSForParams(r0, re, pc float64) (UDGSpec, float64) {
+	spec := UDGSpec{
+		Mode:   GeometryRepaired,
+		R0:     r0,
+		Re:     re,
+		Xe:     1 - r0 - re,
+		Radius: 1,
+	}
+	spec.Side = 2 * (spec.Xe + re)
+	if spec.Validate() != nil {
+		return spec, math.Inf(1)
+	}
+	return spec, spec.LambdaS(pc)
+}

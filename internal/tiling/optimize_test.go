@@ -1,0 +1,70 @@
+package tiling
+
+import (
+	"math"
+	"testing"
+)
+
+const pcRef = 0.592746
+
+func TestSpecForReFeasible(t *testing.T) {
+	for _, re := range []float64{0.05, 0.1, 0.15, 0.2, 0.25} {
+		s := specForRe(re)
+		if err := s.Validate(); err != nil {
+			t.Errorf("re=%v: %v", re, err)
+		}
+	}
+}
+
+func TestOptimizeUDGSpec(t *testing.T) {
+	best, ls := OptimizeUDGSpec(pcRef)
+	if err := best.Validate(); err != nil {
+		t.Fatalf("optimizer returned invalid spec: %v", err)
+	}
+	if math.IsInf(ls, 1) || ls <= 0 {
+		t.Fatalf("λs = %v", ls)
+	}
+	// The optimum cannot be meaningfully worse than the default clean spec
+	// (golden-section terminates at 1e-6 in re, worth ~1e-4 in λs).
+	def := DefaultUDGSpec().LambdaS(pcRef)
+	if ls > def+1e-3 {
+		t.Errorf("optimized λs %v worse than default %v", ls, def)
+	}
+	// It must beat obviously bad parameter choices.
+	if _, bad := LambdaSForParams(0.45, 0.05, pcRef); bad < ls {
+		t.Errorf("lopsided spec should be worse: %v < %v", bad, ls)
+	}
+	// The known near-optimal region is re ≈ 0.25 with equal areas... the
+	// optimizer may trade a touch of r0 for re; sanity-bound the answer.
+	if best.Re < 0.15 || best.Re > 0.25+1e-9 {
+		t.Errorf("optimal re = %v outside plausible range", best.Re)
+	}
+	if ls > 13 || ls < 9 {
+		t.Errorf("optimal λs = %v outside plausible range [9, 13]", ls)
+	}
+}
+
+func TestLambdaSForParams(t *testing.T) {
+	// Default-equivalent parameters reproduce the default λs.
+	spec, ls := LambdaSForParams(0.25, 0.25, pcRef)
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("spec invalid: %v", err)
+	}
+	want := DefaultUDGSpec().LambdaS(pcRef)
+	if math.Abs(ls-want) > 1e-6 {
+		t.Errorf("λs = %v want %v", ls, want)
+	}
+	// Infeasible pair (r0 + 2re > reach budget) yields +Inf.
+	if _, bad := LambdaSForParams(0.45, 0.3, pcRef); !math.IsInf(bad, 1) {
+		t.Errorf("infeasible params gave λs = %v", bad)
+	}
+}
+
+func TestLambdaSMonotoneInRegionAreas(t *testing.T) {
+	// Shrinking both regions must raise the threshold.
+	_, big := LambdaSForParams(0.25, 0.25, pcRef)
+	_, small := LambdaSForParams(0.15, 0.15, pcRef)
+	if small <= big {
+		t.Errorf("smaller regions should need higher λ: %v vs %v", small, big)
+	}
+}

@@ -1,0 +1,80 @@
+package tiling
+
+import (
+	"strings"
+
+	"repro/internal/geom"
+)
+
+// RenderUDGTile draws the UDG-SENS tile regions (the paper's Figure 3) as
+// ASCII, cols characters wide: 'C' = C0, 'r/l/t/b' = the four relay
+// regions, '.' = unclassified tile interior. The rendering evaluates the
+// actual region geometry, so literal-mode output visibly has no relay
+// cells — the Figure 3 that the paper should have drawn.
+func RenderUDGTile(s UDGSpec, cols int) string {
+	return renderTile(s.Side, cols, func(p geom.Point) byte {
+		switch s.Classify(p) {
+		case UC0:
+			return 'C'
+		case URelayRight:
+			return 'r'
+		case URelayLeft:
+			return 'l'
+		case URelayTop:
+			return 't'
+		case URelayBottom:
+			return 'b'
+		}
+		return '.'
+	})
+}
+
+// RenderNNTile draws the NN-SENS tile regions (the paper's Figure 5) as
+// ASCII: 'C' = C0, 'R/L/T/B' = the outer disks, 'r/l/t/b' = the bridge
+// regions, '.' = unclassified.
+func RenderNNTile(g *NNGeometry, cols int) string {
+	return renderTile(g.Spec.TileSide(), cols, func(p geom.Point) byte {
+		switch r := g.Classify(p); {
+		case r == NC0:
+			return 'C'
+		case r == NDiskRight:
+			return 'R'
+		case r == NDiskLeft:
+			return 'L'
+		case r == NDiskTop:
+			return 'T'
+		case r == NDiskBottom:
+			return 'B'
+		case r == NBridgeRight:
+			return 'r'
+		case r == NBridgeLeft:
+			return 'l'
+		case r == NBridgeTop:
+			return 't'
+		case r == NBridgeBottom:
+			return 'b'
+		}
+		return '.'
+	})
+}
+
+// renderTile rasterizes a side×side tile centered at the origin with the
+// given cell classifier; rows shrink by half to roughly correct for
+// character aspect ratio.
+func renderTile(side float64, cols int, classify func(geom.Point) byte) string {
+	if cols < 8 {
+		cols = 8
+	}
+	rows := cols / 2
+	var b strings.Builder
+	for row := 0; row < rows; row++ {
+		// Top row first (largest y).
+		y := side * (0.5 - (float64(row)+0.5)/float64(rows))
+		for col := 0; col < cols; col++ {
+			x := side * ((float64(col)+0.5)/float64(cols) - 0.5)
+			b.WriteByte(classify(geom.Pt(x, y)))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,66 @@
+package tiling
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderUDGTileRepaired(t *testing.T) {
+	out := RenderUDGTile(DefaultUDGSpec(), 48)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 24 {
+		t.Fatalf("rows = %d", len(lines))
+	}
+	for _, ch := range []string{"C", "r", "l", "t", "b"} {
+		if !strings.Contains(out, ch) {
+			t.Errorf("repaired tile rendering missing %q:\n%s", ch, out)
+		}
+	}
+	// C0 is centered: middle row should contain l … C … r in order.
+	mid := lines[len(lines)/2]
+	li := strings.Index(mid, "l")
+	ci := strings.Index(mid, "C")
+	ri := strings.Index(mid, "r")
+	if li < 0 || ci < 0 || ri < 0 || !(li < ci && ci < ri) {
+		t.Errorf("middle row layout wrong: %q", mid)
+	}
+}
+
+func TestRenderUDGTileLiteralHasNoRelays(t *testing.T) {
+	out := RenderUDGTile(PaperUDGSpec(), 48)
+	for _, ch := range []string{"r", "l", "t", "b"} {
+		if strings.Contains(out, ch) {
+			t.Errorf("literal tile rendering shows relay region %q — should be empty", ch)
+		}
+	}
+	if !strings.Contains(out, "C") {
+		t.Error("literal tile rendering missing C0")
+	}
+}
+
+func TestRenderNNTile(t *testing.T) {
+	g := PaperNNSpec().Compile()
+	out := RenderNNTile(g, 64)
+	for _, ch := range []string{"C", "R", "L", "T", "B", "r", "l", "t", "b"} {
+		if !strings.Contains(out, ch) {
+			t.Errorf("NN tile rendering missing %q", ch)
+		}
+	}
+	// Bridge 'r' must appear between C and R on the middle row.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	mid := lines[len(lines)/2]
+	ci := strings.Index(mid, "C")
+	bi := strings.Index(mid, "r")
+	di := strings.Index(mid, "R")
+	if ci < 0 || bi < 0 || di < 0 || !(ci < bi && bi < di) {
+		t.Errorf("middle row layout wrong: %q", mid)
+	}
+}
+
+func TestRenderTileMinimumSize(t *testing.T) {
+	out := RenderUDGTile(DefaultUDGSpec(), 2) // clamped to 8
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Errorf("clamped rows = %d", len(lines))
+	}
+}

@@ -1,0 +1,360 @@
+package tiling
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+func TestTileOfAndCenter(t *testing.T) {
+	tl := Tiling{Side: 2}
+	if c := tl.TileOf(geom.Pt(0.5, 0.5)); c != (Coord{0, 0}) {
+		t.Errorf("TileOf = %v", c)
+	}
+	if c := tl.TileOf(geom.Pt(-0.5, 3.5)); c != (Coord{-1, 1}) {
+		t.Errorf("TileOf negative = %v", c)
+	}
+	if p := tl.Center(Coord{0, 0}); p != geom.Pt(1, 1) {
+		t.Errorf("Center = %v", p)
+	}
+	r := tl.Rect(Coord{1, 2})
+	if r.Min != geom.Pt(2, 4) || r.Max != geom.Pt(4, 6) {
+		t.Errorf("Rect = %v", r)
+	}
+	// Local coordinates of a tile corner are (±side/2, ±side/2).
+	l := tl.Local(Coord{1, 2}, geom.Pt(2, 4))
+	if l != geom.Pt(-1, -1) {
+		t.Errorf("Local = %v", l)
+	}
+}
+
+func TestTileOfConsistentWithRect(t *testing.T) {
+	tl := Tiling{Side: 1.5}
+	g := rng.New(1)
+	for i := 0; i < 1000; i++ {
+		p := geom.Pt(g.Float64()*20-10, g.Float64()*20-10)
+		c := tl.TileOf(p)
+		if !tl.Rect(c).Contains(p) {
+			t.Fatalf("point %v not in its tile rect %v", p, tl.Rect(c))
+		}
+	}
+}
+
+func TestNeighborAndDirections(t *testing.T) {
+	c := Coord{3, 4}
+	if c.Neighbor(Right) != (Coord{4, 4}) || c.Neighbor(Left) != (Coord{2, 4}) ||
+		c.Neighbor(Top) != (Coord{3, 5}) || c.Neighbor(Bottom) != (Coord{3, 3}) {
+		t.Error("Neighbor wrong")
+	}
+	for _, d := range Directions {
+		if d.Opposite().Opposite() != d {
+			t.Errorf("Opposite not involutive for %v", d)
+		}
+		dx, dy := d.Vec()
+		ox, oy := d.Opposite().Vec()
+		if dx+ox != 0 || dy+oy != 0 {
+			t.Errorf("Opposite vec not negated for %v", d)
+		}
+	}
+	if Right.String() != "right" || Bottom.String() != "bottom" {
+		t.Error("Direction String wrong")
+	}
+}
+
+func TestMapPhiRoundtrip(t *testing.T) {
+	m := NewMap(geom.Box(10, 8), 1.5)
+	// Full tiles: floor(10/1.5)=6 → i ∈ [0, 5]; floor(8/1.5)=5 → j ∈ [0, 4].
+	if m.W != 6 || m.H != 5 {
+		t.Fatalf("map dims %dx%d", m.W, m.H)
+	}
+	if m.Tiles() != 30 {
+		t.Errorf("Tiles = %d", m.Tiles())
+	}
+	for x := 0; x < m.W; x++ {
+		for y := 0; y < m.H; y++ {
+			c := m.PhiInv(x, y)
+			gx, gy, ok := m.Phi(c)
+			if !ok || gx != x || gy != y {
+				t.Fatalf("roundtrip failed at (%d,%d)", x, y)
+			}
+		}
+	}
+	// Out-of-window tiles map to ok=false.
+	if _, _, ok := m.Phi(Coord{-1, 0}); ok {
+		t.Error("tile left of window should not map")
+	}
+	if _, _, ok := m.Phi(Coord{6, 0}); ok {
+		t.Error("tile right of window should not map")
+	}
+}
+
+func TestMapOffsetBox(t *testing.T) {
+	// Box not anchored at the origin.
+	box := geom.NewRect(geom.Pt(3.1, -2.9), geom.Pt(9.1, 4.1))
+	m := NewMap(box, 1.0)
+	if m.Tiles() == 0 {
+		t.Fatal("no tiles mapped")
+	}
+	// Every mapped tile must lie fully inside the box.
+	for x := 0; x < m.W; x++ {
+		for y := 0; y < m.H; y++ {
+			r := m.Tiling.Rect(m.PhiInv(x, y))
+			if !box.ContainsRect(r) {
+				t.Fatalf("tile %v rect %v leaves box %v", m.PhiInv(x, y), r, box)
+			}
+		}
+	}
+}
+
+func TestMapEmptyBox(t *testing.T) {
+	m := NewMap(geom.Box(0.5, 0.5), 1.0)
+	if m.Tiles() != 0 {
+		t.Errorf("tiny box should map no tiles, got %d", m.Tiles())
+	}
+}
+
+func TestUDGSpecValidate(t *testing.T) {
+	if err := DefaultUDGSpec().Validate(); err != nil {
+		t.Errorf("default spec invalid: %v", err)
+	}
+	if err := PaperUDGSpec().Validate(); err != nil {
+		t.Errorf("paper literal spec should pass basic validation: %v", err)
+	}
+	if err := RelaxedUDGSpec().Validate(); err != nil {
+		t.Errorf("relaxed spec invalid: %v", err)
+	}
+	bad := DefaultUDGSpec()
+	bad.Xe = 0.7 // violates rep↔relay reach (0.7+0.25+0.25 = 1.2 > 1)
+	if bad.Validate() == nil {
+		t.Error("reach violation not caught")
+	}
+	bad = DefaultUDGSpec()
+	bad.Re = 0.3 // overlaps C0 (Xe−Re = 0.2 < 0.25)
+	if bad.Validate() == nil {
+		t.Error("overlap violation not caught")
+	}
+	bad = DefaultUDGSpec()
+	bad.Side = 3 // cross-boundary reach: 3−1+0.5 = 2.5 > 1
+	if bad.Validate() == nil {
+		t.Error("cross-boundary violation not caught")
+	}
+	if (UDGSpec{}).Validate() == nil {
+		t.Error("zero spec should fail")
+	}
+}
+
+// TestLiteralRelayRegionsAreEmpty pins down the paper's geometric defect
+// (DESIGN.md §2): with C0 of radius 1/2 and unit disks, the §2.1 relay
+// regions are empty.
+func TestLiteralRelayRegionsAreEmpty(t *testing.T) {
+	s := PaperUDGSpec()
+	g := rng.New(2)
+	for _, d := range Directions {
+		region := s.RelayRegion(d)
+		for i := 0; i < 20000; i++ {
+			p := geom.Pt(g.Float64()*s.Side-s.Side/2, g.Float64()*s.Side-s.Side/2)
+			if region.Contains(p) {
+				t.Fatalf("literal relay region %v contains %v — should be empty", d, p)
+			}
+		}
+	}
+	// Consequently no tile can ever be good.
+	pts := make([]geom.Point, 500)
+	for i := range pts {
+		pts[i] = geom.Pt(g.Float64()*s.Side-s.Side/2, g.Float64()*s.Side-s.Side/2)
+	}
+	if s.TileGood(pts) {
+		t.Error("literal-geometry tile reported good")
+	}
+}
+
+// TestRepairedReachability verifies Claim 2.1's per-hop guarantee for the
+// repaired geometry: any representative can reach any same-tile relay, and
+// any relay can reach the facing relay of the neighboring tile, within the
+// connection radius.
+func TestRepairedReachability(t *testing.T) {
+	s := DefaultUDGSpec()
+	g := rng.New(3)
+	c0 := s.CenterRegion()
+	sampleIn := func(r geom.Region) geom.Point {
+		b := r.Bounds()
+		for {
+			p := geom.Pt(b.Min.X+g.Float64()*b.Width(), b.Min.Y+g.Float64()*b.Height())
+			if r.Contains(p) {
+				return p
+			}
+		}
+	}
+	for _, d := range Directions {
+		relay := s.RelayRegion(d)
+		dx, dy := d.Vec()
+		shift := geom.Pt(float64(dx)*s.Side, float64(dy)*s.Side)
+		// The facing relay region of the neighbor tile, in this tile's
+		// local coordinates.
+		facing := geom.Translate(s.RelayRegion(d.Opposite()), shift)
+		for i := 0; i < 2000; i++ {
+			rep := sampleIn(c0)
+			rel := sampleIn(relay)
+			far := sampleIn(facing)
+			if rep.Dist(rel) > s.Radius+1e-9 {
+				t.Fatalf("dir %v: rep %v cannot reach relay %v (d = %v)", d, rep, rel, rep.Dist(rel))
+			}
+			if rel.Dist(far) > s.Radius+1e-9 {
+				t.Fatalf("dir %v: relay %v cannot reach facing relay %v (d = %v)", d, rel, far, rel.Dist(far))
+			}
+		}
+	}
+}
+
+func TestUDGClassify(t *testing.T) {
+	s := DefaultUDGSpec()
+	if r := s.Classify(geom.Pt(0, 0)); r != UC0 {
+		t.Errorf("center = %v", r)
+	}
+	if r := s.Classify(geom.Pt(0.5, 0)); r != URelayRight {
+		t.Errorf("right relay center = %v", r)
+	}
+	if r := s.Classify(geom.Pt(-0.5, 0)); r != URelayLeft {
+		t.Errorf("left relay center = %v", r)
+	}
+	if r := s.Classify(geom.Pt(0, 0.5)); r != URelayTop {
+		t.Errorf("top relay center = %v", r)
+	}
+	if r := s.Classify(geom.Pt(0, -0.5)); r != URelayBottom {
+		t.Errorf("bottom relay center = %v", r)
+	}
+	if r := s.Classify(geom.Pt(0.7, 0.7)); r != UNone {
+		t.Errorf("corner = %v", r)
+	}
+	if r := s.Classify(geom.Pt(0.3, 0.3)); r != UNone {
+		t.Errorf("gap point = %v", r)
+	}
+}
+
+func TestUDGTileGood(t *testing.T) {
+	s := DefaultUDGSpec()
+	full := []geom.Point{
+		{X: 0, Y: 0}, {X: 0.5, Y: 0}, {X: -0.5, Y: 0}, {X: 0, Y: 0.5}, {X: 0, Y: -0.5},
+	}
+	if !s.TileGood(full) {
+		t.Error("fully-occupied tile not good")
+	}
+	if s.TileGood(full[:4]) {
+		t.Error("tile missing bottom relay reported good")
+	}
+	if s.TileGood(nil) {
+		t.Error("empty tile reported good")
+	}
+	// Duplicate occupancy doesn't help.
+	if s.TileGood([]geom.Point{{X: 0, Y: 0}, {X: 0.01, Y: 0}, {X: 0.5, Y: 0}}) {
+		t.Error("tile with only C0+right reported good")
+	}
+}
+
+func TestUDGGoodProbabilityFormulaVsMonteCarlo(t *testing.T) {
+	s := DefaultUDGSpec()
+	g := rng.New(4)
+	for _, lambda := range []float64{5, 12} {
+		want := s.GoodProbability(lambda)
+		got := MonteCarloGoodProbability(s.Side, lambda, s.TileGood, 6000, g)
+		if math.Abs(got.P-want) > 0.025 {
+			t.Errorf("λ=%v: MC %v vs analytic %v", lambda, got.P, want)
+		}
+	}
+	if !math.IsNaN(PaperUDGSpec().GoodProbability(2)) {
+		t.Error("literal-mode analytic probability should be NaN")
+	}
+}
+
+func TestUDGGoodProbabilityMonotone(t *testing.T) {
+	s := DefaultUDGSpec()
+	prev := -1.0
+	for lambda := 0.5; lambda <= 30; lambda += 0.5 {
+		p := s.GoodProbability(lambda)
+		if p < prev {
+			t.Fatalf("good probability not monotone at λ=%v", lambda)
+		}
+		prev = p
+	}
+}
+
+func TestLambdaS(t *testing.T) {
+	s := DefaultUDGSpec()
+	const pc = 0.592746
+	ls := s.LambdaS(pc)
+	// At λs the probability equals pc.
+	if math.Abs(s.GoodProbability(ls)-pc) > 1e-6 {
+		t.Errorf("P(good)(λs) = %v want %v", s.GoodProbability(ls), pc)
+	}
+	// Expected ballpark from the analytic formula: (1−e^{−λπ/16})⁵ = pc
+	// → λ = −16·ln(1−pc^{1/5})/π ≈ 11.7.
+	want := -16 * math.Log(1-math.Pow(pc, 0.2)) / math.Pi
+	if math.Abs(ls-want) > 0.01 {
+		t.Errorf("λs = %v want %v", ls, want)
+	}
+	if !math.IsNaN(PaperUDGSpec().LambdaS(pc)) {
+		t.Error("literal-mode λs should be NaN")
+	}
+}
+
+func TestRelaxedRegions(t *testing.T) {
+	s := RelaxedUDGSpec()
+	// Band between C0 and right edge.
+	if r := s.Classify(geom.Pt(0.6, 0)); r != URelayRight {
+		t.Errorf("band point = %v", r)
+	}
+	// Inside C0 wins.
+	if r := s.Classify(geom.Pt(0.45, 0)); r != UC0 {
+		t.Errorf("C0 point = %v", r)
+	}
+	// Outside everything.
+	if r := s.Classify(geom.Pt(0.66, 0.62)); r != URelayRight && r != URelayTop {
+		// Corner bands can overlap in relaxed mode — either is acceptable,
+		// but it must not be UNone given BandH = 0.5... actually (0.66, 0.62)
+		// has |y| > BandH for the right band and |x| > BandH for the top
+		// band, so it is UNone.
+		if r != UNone {
+			t.Errorf("corner point = %v", r)
+		}
+	}
+}
+
+func TestAssignTilesAndLocalPoints(t *testing.T) {
+	m := NewMap(geom.Box(6, 6), 1.5)
+	pts := []geom.Point{
+		{X: 0.1, Y: 0.1},  // tile (0,0)
+		{X: 1.0, Y: 0.2},  // tile (0,0)
+		{X: 2.0, Y: 0.5},  // tile (1,0)
+		{X: 5.9, Y: 5.9},  // tile (3,3)
+		{X: -0.5, Y: 0.5}, // outside window
+	}
+	groups := AssignTiles(m, pts)
+	if len(groups[Coord{0, 0}]) != 2 {
+		t.Errorf("tile (0,0) group = %v", groups[Coord{0, 0}])
+	}
+	if len(groups[Coord{1, 0}]) != 1 || len(groups[Coord{3, 3}]) != 1 {
+		t.Error("tile groups wrong")
+	}
+	total := 0
+	for _, g := range groups {
+		total += len(g)
+	}
+	if total != 4 {
+		t.Errorf("total grouped = %d want 4 (outside point dropped)", total)
+	}
+	loc := LocalPoints(m, Coord{0, 0}, pts, groups[Coord{0, 0}], nil)
+	if len(loc) != 2 {
+		t.Fatalf("local points = %v", loc)
+	}
+	// Tile (0,0) center is (0.75, 0.75).
+	if loc[0] != geom.Pt(0.1-0.75, 0.1-0.75) {
+		t.Errorf("local[0] = %v", loc[0])
+	}
+	for _, l := range loc {
+		if math.Abs(l.X) > 0.75 || math.Abs(l.Y) > 0.75 {
+			t.Errorf("local point outside tile: %v", l)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+// Package topo implements the classical topology-control baselines the
+// paper positions itself against (§1.2): structures that keep EVERY node
+// connected — the Gabriel graph, the relative neighborhood graph (RNG),
+// the Yao graph, and the Euclidean minimum spanning tree — plus plain k-NN.
+// The E14 experiment compares them with the SENS constructions on degree,
+// stretch, power and active-node metrics.
+//
+// All four are computed as subgraphs of a unit disk graph (as a real radio
+// network would), so "connected" means "as connected as UDG allows".
+package topo
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/rgg"
+)
+
+// Gabriel returns the Gabriel graph restricted to base edges: {u, v} is
+// kept iff the disk with diameter uv contains no other point.
+func Gabriel(base *rgg.Geometric) *rgg.Geometric {
+	pts := base.Pos
+	b := graph.NewBuilder(len(pts))
+	for u := int32(0); int(u) < base.N; u++ {
+		for _, v := range base.Neighbors(u) {
+			if v <= u {
+				continue
+			}
+			mid := geom.Midpoint(pts[u], pts[v])
+			r2 := pts[u].Dist2(pts[v]) / 4
+			ok := true
+			// Any witness must be a UDG neighbor of u or v (it lies within
+			// the uv-diameter disk, so within d(u,v) ≤ radius of both).
+			for _, w := range base.Neighbors(u) {
+				if w != v && mid.Dist2(pts[w]) < r2-1e-15 {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				for _, w := range base.Neighbors(v) {
+					if w != u && mid.Dist2(pts[w]) < r2-1e-15 {
+						ok = false
+						break
+					}
+				}
+			}
+			if ok {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	return &rgg.Geometric{CSR: b.Build(), Pos: pts}
+}
+
+// RelativeNeighborhood returns the RNG restricted to base edges: {u, v} is
+// kept iff no point w has max(d(u,w), d(v,w)) < d(u,v) (the "lune" is
+// empty).
+func RelativeNeighborhood(base *rgg.Geometric) *rgg.Geometric {
+	pts := base.Pos
+	b := graph.NewBuilder(len(pts))
+	for u := int32(0); int(u) < base.N; u++ {
+		for _, v := range base.Neighbors(u) {
+			if v <= u {
+				continue
+			}
+			duv := pts[u].Dist2(pts[v])
+			ok := true
+			// A lune witness is within d(u,v) of both u and v, hence a UDG
+			// neighbor of u.
+			for _, w := range base.Neighbors(u) {
+				if w == v {
+					continue
+				}
+				if pts[u].Dist2(pts[w]) < duv-1e-15 && pts[v].Dist2(pts[w]) < duv-1e-15 {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	return &rgg.Geometric{CSR: b.Build(), Pos: pts}
+}
+
+// Yao returns the Yao graph with the given number of cones (≥ 6 for
+// connectivity guarantees): each vertex keeps, per cone, its shortest base
+// edge. The union is taken undirected.
+func Yao(base *rgg.Geometric, cones int) *rgg.Geometric {
+	if cones < 1 {
+		cones = 1
+	}
+	pts := base.Pos
+	b := graph.NewBuilder(len(pts))
+	best := make([]int32, cones)
+	bestD := make([]float64, cones)
+	for u := int32(0); int(u) < base.N; u++ {
+		for c := range best {
+			best[c] = -1
+			bestD[c] = math.Inf(1)
+		}
+		for _, v := range base.Neighbors(u) {
+			dir := pts[v].Sub(pts[u])
+			theta := dir.Angle() // (−π, π]
+			c := int((theta + math.Pi) / (2 * math.Pi) * float64(cones))
+			if c >= cones {
+				c = cones - 1
+			}
+			if d := dir.Norm2(); d < bestD[c] {
+				bestD[c] = d
+				best[c] = v
+			}
+		}
+		for _, v := range best {
+			if v >= 0 {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	return &rgg.Geometric{CSR: b.Build(), Pos: pts}
+}
+
+// EMST returns the Euclidean minimum spanning forest of the base graph
+// (Kruskal over base edges; a spanning tree per connected component).
+func EMST(base *rgg.Geometric) *rgg.Geometric {
+	pts := base.Pos
+	type edge struct {
+		u, v int32
+		d2   float64
+	}
+	var edges []edge
+	for u := int32(0); int(u) < base.N; u++ {
+		for _, v := range base.Neighbors(u) {
+			if v > u {
+				edges = append(edges, edge{u, v, pts[u].Dist2(pts[v])})
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].d2 < edges[j].d2 })
+	uf := graph.NewUnionFind(base.N)
+	b := graph.NewBuilder(base.N)
+	for _, e := range edges {
+		if uf.Union(e.u, e.v) {
+			b.AddEdge(e.u, e.v)
+		}
+	}
+	return &rgg.Geometric{CSR: b.Build(), Pos: pts}
+}
+
+// KNN returns the undirected k-nearest-neighbor graph (re-exported from rgg
+// for baseline symmetry).
+func KNN(pts []geom.Point, k int) *rgg.Geometric { return rgg.NN(pts, k) }
