@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: verify test bench baseline
+
+# verify is the tier-1 gate: build + vet + full test suite.
+verify:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test ./...
+
+test:
+	$(GO) test ./...
+
+# bench runs every benchmark once with allocation reporting — the quick
+# "did I regress the pipeline" check.
+bench:
+	$(GO) test -bench=. -benchtime=1x -benchmem -run='^$$' ./...
+
+# baseline regenerates BENCH_baseline.json, the checked-in perf trajectory
+# that future PRs diff against.
+baseline:
+	scripts/bench.sh BENCH_baseline.json

@@ -127,6 +127,51 @@ func BenchmarkRouteOnSens(b *testing.B) {
 	}
 }
 
+// Base-graph construction benchmarks at 10× and 50× the SENS benchmarks'
+// node counts (~9k points): the flat-CSR builder and the parallel point
+// loops are sized for exactly these scales. λ=16 UDG at radius 1 carries a
+// mean degree of ~50, so the 460k-point build moves ~11.6M directed edges.
+
+func benchUDGGraph(b *testing.B, side float64) {
+	b.Helper()
+	box := sensnet.Box(side, side)
+	pts := sensnet.Deploy(box, 16, 11)
+	b.ReportMetric(float64(len(pts)), "points")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g := sensnet.UDG(pts, 1); g.EdgeCount == 0 {
+			b.Fatal("empty UDG")
+		}
+	}
+}
+
+func benchNNGraph(b *testing.B, side float64) {
+	b.Helper()
+	box := sensnet.Box(side, side)
+	pts := sensnet.Deploy(box, 16, 11)
+	b.ReportMetric(float64(len(pts)), "points")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g := sensnet.NN(pts, 6); g.EdgeCount == 0 {
+			b.Fatal("empty NN graph")
+		}
+	}
+}
+
+// BenchmarkUDGGraph100k builds UDG(2, λ) over ~100k Poisson points (10×).
+func BenchmarkUDGGraph100k(b *testing.B) { benchUDGGraph(b, 79) }
+
+// BenchmarkUDGGraph460k builds UDG(2, λ) over ~460k Poisson points (50×).
+func BenchmarkUDGGraph460k(b *testing.B) { benchUDGGraph(b, 170) }
+
+// BenchmarkNNGraph100k builds NN(2, 6) over ~100k Poisson points (10×).
+func BenchmarkNNGraph100k(b *testing.B) { benchNNGraph(b, 79) }
+
+// BenchmarkNNGraph460k builds NN(2, 6) over ~460k Poisson points (50×).
+func BenchmarkNNGraph460k(b *testing.B) { benchNNGraph(b, 170) }
+
 // BenchmarkE15AblationGeometry regenerates E15: the repaired-geometry
 // parameter sweep and λs optimizer (the paper's future-work item).
 func BenchmarkE15AblationGeometry(b *testing.B) { runExperiment(b, "E15") }

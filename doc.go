@@ -37,4 +37,29 @@
 // the internal/ packages, and every quantitative claim of the paper has an
 // experiment driver (internal/experiments, surfaced via RunExperiment and
 // cmd/experiments).
+//
+// # Construction pipeline architecture
+//
+// The graph substrate is built for Monte-Carlo scale (hundreds of
+// thousands of nodes per deployment) on three pieces:
+//
+//   - internal/graph: a flat edge-list Builder — packed (u, v) pairs
+//     appended without dedup scans — frozen into CSR by two stable
+//     counting-sort passes with dedup at build time. Output is independent
+//     of insertion order.
+//   - internal/parallel: For/Collect primitives that shard index ranges at
+//     a fixed granularity (never by worker count) and merge per-shard
+//     buffers in shard index order, so every parallel producer is
+//     deterministic: same seed ⇒ byte-identical CSR at any GOMAXPROCS.
+//   - internal/spatial: grid and kd-tree indexes whose KNearestInto/Within
+//     query forms append into caller buffers and traverse iteratively —
+//     zero allocations per query at steady state, one KNNScratch per
+//     worker shard.
+//
+// rgg.UDG, rgg.NN and the topo baselines (Gabriel, RNG, Yao) generate
+// packed edges through parallel.Collect; the SENS constructions, routing
+// and the stretch samplers reuse BFS/Dijkstra/route scratch buffers across
+// their loops. `make verify` is the tier-1 gate and `make bench` /
+// scripts/bench.sh regenerate BENCH_baseline.json, the checked-in
+// performance trajectory.
 package sensnet

@@ -77,6 +77,7 @@ func BuildUDGDistributed(pts []geom.Point, box geom.Rect, spec tiling.UDGSpec) (
 	n.Stats.Tiles = n.Map.Tiles()
 
 	// Phase 1: local classification (per node, zero messages).
+	gm := spec.Compile()
 	states := make([]nodeState, len(pts))
 	regionPeers := map[tiling.Coord]map[tiling.URegion][]int32{}
 	for i, p := range pts {
@@ -90,7 +91,7 @@ func BuildUDGDistributed(pts []geom.Point, box geom.Rect, spec tiling.UDGSpec) (
 			continue
 		}
 		st.tile = c
-		st.region = spec.Classify(n.Map.Tiling.Local(c, p))
+		st.region = gm.Classify(n.Map.Tiling.Local(c, p))
 		st.mapped = true
 		if st.region != tiling.UNone {
 			if regionPeers[c] == nil {

@@ -50,10 +50,12 @@ func (n *Network) SampleRepStretch(pairs int, rng *rand.Rand) []StretchSample {
 	weight := graph.EuclideanWeight(n.Pts)
 	var out []StretchSample
 	var hopBuf []int32
+	var wdist []float64
+	var scratch graph.DijkstraScratch
 	for len(out) < pairs {
 		si := rng.IntN(len(reps))
 		src := reps[si]
-		wdist := graph.Dijkstra(n.Graph, src, weight)
+		wdist = graph.DijkstraInto(n.Graph, src, weight, wdist, &scratch)
 		hopBuf = graph.BFS(n.Graph, src, hopBuf)
 		for f := 0; f < fanout && len(out) < pairs; f++ {
 			ti := rng.IntN(len(reps))

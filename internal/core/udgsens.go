@@ -45,6 +45,7 @@ func BuildUDG(pts []geom.Point, box geom.Rect, spec tiling.UDGSpec, opt Options)
 	}
 
 	// Steps 1–2 of Figure 7: tile identification and region classification.
+	gm := spec.Compile()
 	groups := tiling.AssignTiles(n.Map, pts)
 	n.Stats.Tiles = n.Map.Tiles()
 
@@ -57,7 +58,7 @@ func BuildUDG(pts []geom.Point, box geom.Rect, spec tiling.UDGSpec, opt Options)
 			regionIDs[r] = regionIDs[r][:0]
 		}
 		for k, p := range local {
-			switch r := spec.Classify(p); r {
+			switch r := gm.Classify(p); r {
 			case tiling.UC0:
 				regionIDs[0] = append(regionIDs[0], idx[k])
 			case tiling.URelayRight, tiling.URelayLeft, tiling.URelayTop, tiling.URelayBottom:

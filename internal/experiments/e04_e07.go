@@ -91,9 +91,10 @@ func E05LambdaS(cfg Config) *Table {
 	lambdas := []float64{6, 8, 10, 11, 11.7, 12, 13, 14, 16}
 	results := make([]stats.Proportion, len(lambdas))
 	trials := cfg.trials(3000, 300)
+	gm := spec.Compile()
 	parallelFor(len(lambdas), func(i int) {
 		g := rng.Sub(cfg.Seed, uint64(400+i))
-		results[i] = tiling.MonteCarloGoodProbability(spec.Side, lambdas[i], spec.TileGood, trials, g)
+		results[i] = tiling.MonteCarloGoodProbability(spec.Side, lambdas[i], gm.TileGood, trials, g)
 	})
 	for i, l := range lambdas {
 		t.AddRow(f4(l), f4(spec.GoodProbability(l)), f4(results[i].P),

@@ -37,6 +37,7 @@ func E12Routing(cfg Config) *Table {
 		var opts, probes, memoProbes []float64
 		delivered, total := 0, 0
 		routes := cfg.trials(200, 40)
+		var scratch routing.Scratch
 		for tr := 0; tr < routes; tr++ {
 			a := giant[g.IntN(len(giant))]
 			b := giant[g.IntN(len(giant))]
@@ -47,14 +48,14 @@ func E12Routing(cfg Config) *Table {
 				continue
 			}
 			total++
-			res := routing.RouteXY(l, ax, ay, bx, by, 0)
+			res := routing.RouteXYInto(l, ax, ay, bx, by, routing.Options{}, &scratch)
 			if !res.Delivered {
 				continue
 			}
 			delivered++
 			opts = append(opts, float64(opt))
 			probes = append(probes, float64(res.Probes))
-			memo := routing.RouteXYWith(l, ax, ay, bx, by, routing.Options{Memoize: true})
+			memo := routing.RouteXYInto(l, ax, ay, bx, by, routing.Options{Memoize: true}, &scratch)
 			memoProbes = append(memoProbes, float64(memo.Probes))
 		}
 		var ratios, memoRatios []float64

@@ -44,7 +44,7 @@ func E15AblationGeometry(cfg Config) *Table {
 			return
 		}
 		g := rng.Sub(cfg.Seed, uint64(1500+i))
-		results[i].mc = tiling.MonteCarloGoodProbability(spec.Side, ls, spec.TileGood, trials, g).P
+		results[i].mc = tiling.MonteCarloGoodProbability(spec.Side, ls, spec.Compile().TileGood, trials, g).P
 	})
 	for i, r := range rows {
 		res := results[i]

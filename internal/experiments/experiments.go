@@ -7,10 +7,10 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
+	"math"
 	"strings"
-	"sync"
 
+	"repro/internal/parallel"
 	"repro/internal/rng"
 )
 
@@ -44,24 +44,16 @@ func (c Config) size(base, min float64) float64 {
 	if s <= 0 {
 		s = 1
 	}
-	// Linear dimensions shrink with sqrt(scale) so areas shrink with scale.
-	v := base * sqrtScale(s)
+	// Linear dimensions shrink with sqrt(scale) so areas shrink with scale;
+	// scales above 1 do not grow the box.
+	if s > 1 {
+		s = 1
+	}
+	v := base * math.Sqrt(s)
 	if v < min {
 		v = min
 	}
 	return v
-}
-
-func sqrtScale(s float64) float64 {
-	if s >= 1 {
-		return 1
-	}
-	// Cheap sqrt via Newton (avoids importing math just for this).
-	x := s
-	for i := 0; i < 20; i++ {
-		x = 0.5 * (x + s/x)
-	}
-	return x
 }
 
 // Table is a rendered experiment result.
@@ -169,46 +161,7 @@ func ByID(id string) *Runner {
 	return nil
 }
 
-// parallelFor runs fn(i) for i in [0, n) on all cores and waits.
-func parallelFor(n int, fn func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
+// parallelFor runs fn(i) for i in [0, n) on all cores and waits; it is the
+// shared primitive from internal/parallel, kept under its historical name
+// because every driver uses it.
+func parallelFor(n int, fn func(i int)) { parallel.For(n, fn) }

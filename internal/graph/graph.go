@@ -1,11 +1,23 @@
 // Package graph provides the graph substrate used by the topology
-// constructions: a mutable adjacency-list builder, an immutable CSR
-// (compressed sparse row) form for query-heavy phases, union-find for
-// connected components, BFS (hop distance) and Dijkstra (weighted distance).
+// constructions: a flat edge-list builder, an immutable CSR (compressed
+// sparse row) form for query-heavy phases, union-find for connected
+// components, BFS (hop distance) and Dijkstra (weighted distance).
 //
 // Vertices are dense int32 indices; edge weights, where used, are Euclidean
 // lengths supplied by the caller. All shortest-path routines reuse caller
 // buffers where it matters to keep the Monte-Carlo loops allocation-light.
+//
+// The builder stores edges as packed uint64 (u, v) pairs appended without
+// any per-insertion dedup scan, so AddEdge is O(1) and the whole edge set
+// lives in one slab. Build produces the CSR with two stable counting-sort
+// passes over the directed pairs (radix sort on the two 32-bit vertex keys),
+// deduplicating adjacent equal pairs during the final write. The output is
+// the same as the historical adjacency-list builder — undirected, no self
+// loops, deterministic sorted adjacency — but construction is O(E + n)
+// with O(E) memory in two slabs instead of n separately grown slices, and
+// the result is independent of insertion order, which is what lets the
+// parallel edge generators in rgg and topo merge per-shard buffers in any
+// grouping and still produce byte-identical CSRs.
 package graph
 
 import (
@@ -13,85 +25,170 @@ import (
 	"sort"
 )
 
-// Builder accumulates an undirected multigraph-free edge set.
+// Pack encodes the undirected edge {u, v} as a canonical (min, max) packed
+// pair for Builder.AddPacked. Callers generating edges in parallel shards
+// pack with this and hand the merged slice to the builder.
+func Pack(u, v int32) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(uint32(u))<<32 | uint64(uint32(v))
+}
+
+// Unpack decodes a packed edge into its (min, max) endpoints.
+func Unpack(e uint64) (u, v int32) {
+	return int32(e >> 32), int32(uint32(e))
+}
+
+// Builder accumulates an undirected edge set over n vertices. Self loops
+// are dropped at insertion; parallel edges are dropped once, at Build time.
+// The zero Builder is not usable; use NewBuilder.
 type Builder struct {
 	n     int
-	adj   [][]int32
-	edges int
+	edges []uint64 // canonical packed pairs, in insertion order
+	// mayDup records whether any insertion path that admits duplicates was
+	// used. When false, Build skips the dedup comparison and trusts the
+	// caller's uniqueness guarantee.
+	mayDup bool
 }
 
 // NewBuilder creates a builder over n vertices.
 func NewBuilder(n int) *Builder {
-	return &Builder{n: n, adj: make([][]int32, n)}
+	return &Builder{n: n}
 }
 
 // N returns the number of vertices.
 func (b *Builder) N() int { return b.n }
 
-// Edges returns the number of undirected edges added.
-func (b *Builder) Edges() int { return b.edges }
+// Pending returns the number of edge insertions buffered so far, counting
+// duplicates. The deduplicated count is CSR.EdgeCount, computed by Build.
+func (b *Builder) Pending() int { return len(b.edges) }
 
-// AddEdge adds the undirected edge {u, v} if absent. Self loops are ignored.
-// Returns true if the edge was newly added.
-func (b *Builder) AddEdge(u, v int32) bool {
-	if u == v {
-		return false
-	}
+func (b *Builder) checkRange(u, v int32) {
 	if u < 0 || v < 0 || int(u) >= b.n || int(v) >= b.n {
 		panic(fmt.Sprintf("graph: edge (%d, %d) out of range [0, %d)", u, v, b.n))
 	}
-	for _, w := range b.adj[u] {
-		if w == v {
-			return false
-		}
-	}
-	b.adj[u] = append(b.adj[u], v)
-	b.adj[v] = append(b.adj[v], u)
-	b.edges++
-	return true
 }
 
-// HasEdge reports whether the undirected edge {u, v} exists.
-func (b *Builder) HasEdge(u, v int32) bool {
-	if u < 0 || int(u) >= b.n || v < 0 || int(v) >= b.n {
-		return false
+// AddEdge records the undirected edge {u, v}. Self loops are ignored;
+// duplicates are tolerated and removed during Build.
+func (b *Builder) AddEdge(u, v int32) {
+	if u == v {
+		return
 	}
-	for _, w := range b.adj[u] {
-		if w == v {
-			return true
-		}
-	}
-	return false
+	b.checkRange(u, v)
+	b.edges = append(b.edges, Pack(u, v))
+	b.mayDup = true
 }
 
-// Degree returns the degree of u.
-func (b *Builder) Degree(u int32) int { return len(b.adj[u]) }
+// AddEdgeUnique is the fast path for callers that guarantee each undirected
+// edge is inserted at most once (e.g. generators that only emit pairs with
+// u < v): Build then skips the dedup pass. Self loops are still ignored.
+// Violating the uniqueness guarantee corrupts EdgeCount and duplicates
+// adjacency entries.
+func (b *Builder) AddEdgeUnique(u, v int32) {
+	if u == v {
+		return
+	}
+	b.checkRange(u, v)
+	b.edges = append(b.edges, Pack(u, v))
+}
 
-// Neighbors returns u's adjacency slice (not a copy).
-func (b *Builder) Neighbors(u int32) []int32 { return b.adj[u] }
+// AddPacked bulk-appends canonically packed edges (see Pack). unique makes
+// the same promise as AddEdgeUnique for the entire builder: no undirected
+// edge appears twice across all insertions. Entries must be self-loop-free
+// and in range; this is checked.
+func (b *Builder) AddPacked(edges []uint64, unique bool) {
+	for _, e := range edges {
+		u, v := Unpack(e)
+		if u == v {
+			panic(fmt.Sprintf("graph: packed self loop at vertex %d", u))
+		}
+		b.checkRange(u, v)
+	}
+	b.edges = append(b.edges, edges...)
+	if !unique {
+		b.mayDup = true
+	}
+}
 
-// Build freezes the builder into CSR form.
+// Build freezes the builder into CSR form: two stable counting-sort passes
+// over the 2·|edges| directed pairs (low key then high key), then a single
+// dedup-and-write scan. The builder remains usable; Build may be called
+// again after further insertions.
 func (b *Builder) Build() *CSR {
-	c := &CSR{
-		N:     b.n,
-		Start: make([]int32, b.n+1),
+	n := b.n
+	c := &CSR{N: n, Start: make([]int32, n+1)}
+	if len(b.edges) == 0 {
+		return c
 	}
-	total := 0
-	for _, a := range b.adj {
-		total += len(a)
+
+	// Directed pairs, packed (from << 32 | to).
+	m2 := 2 * len(b.edges)
+	a := make([]uint64, m2)
+	for i, e := range b.edges {
+		a[2*i] = e
+		a[2*i+1] = e<<32 | e>>32
 	}
-	c.Adj = make([]int32, total)
-	pos := int32(0)
-	for u, a := range b.adj {
-		c.Start[u] = pos
-		// Sorted adjacency gives deterministic iteration order downstream.
-		sorted := append([]int32(nil), a...)
-		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-		copy(c.Adj[pos:], sorted)
-		pos += int32(len(a))
+
+	// Pass 1: stable counting sort by the low key (the "to" vertex).
+	buf := make([]uint64, m2)
+	count := make([]int32, n+1)
+	for _, x := range a {
+		count[uint32(x)+1]++
 	}
-	c.Start[b.n] = pos
-	c.EdgeCount = b.edges
+	for i := 0; i < n; i++ {
+		count[i+1] += count[i]
+	}
+	for _, x := range a {
+		k := uint32(x)
+		buf[count[k]] = x
+		count[k]++
+	}
+
+	// Pass 2: stable counting sort by the high key (the "from" vertex).
+	// Stability preserves the pass-1 order, so each vertex's adjacency comes
+	// out sorted. Reuses count by recomputing offsets.
+	for i := range count {
+		count[i] = 0
+	}
+	for _, x := range buf {
+		count[(x>>32)+1]++
+	}
+	for i := 0; i < n; i++ {
+		count[i+1] += count[i]
+	}
+	for _, x := range buf {
+		k := x >> 32
+		a[count[k]] = x
+		count[k]++
+	}
+
+	// Final write: fill Adj from the fully sorted pairs, skipping adjacent
+	// duplicates when the builder may hold any. Degrees are accumulated in
+	// Start[u+1] and prefix-summed afterwards. EdgeCount is derived from the
+	// deduplicated total — never from insertion-time accounting.
+	if b.mayDup {
+		adj := a[:0] // dedup in place; write cursor trails the read cursor
+		prev := ^uint64(0)
+		for _, x := range a {
+			if x == prev {
+				continue
+			}
+			prev = x
+			adj = append(adj, x)
+		}
+		a = adj
+	}
+	c.Adj = make([]int32, len(a))
+	for i, x := range a {
+		c.Adj[i] = int32(uint32(x))
+		c.Start[(x>>32)+1]++
+	}
+	for i := 0; i < n; i++ {
+		c.Start[i+1] += c.Start[i]
+	}
+	c.EdgeCount = len(a) / 2
 	return c
 }
 

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -20,30 +21,140 @@ func pathGraph(n int) *CSR {
 
 func TestBuilderBasics(t *testing.T) {
 	b := NewBuilder(4)
-	if !b.AddEdge(0, 1) {
-		t.Error("first AddEdge returned false")
-	}
-	if b.AddEdge(1, 0) {
-		t.Error("duplicate edge (reversed) returned true")
-	}
-	if b.AddEdge(2, 2) {
-		t.Error("self loop returned true")
-	}
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0) // duplicate (reversed) — removed at Build
+	b.AddEdge(2, 2) // self loop — ignored
 	b.AddEdge(1, 2)
-	if b.Edges() != 2 {
-		t.Errorf("Edges = %d", b.Edges())
-	}
-	if !b.HasEdge(0, 1) || !b.HasEdge(1, 0) || b.HasEdge(0, 2) {
-		t.Error("HasEdge wrong")
-	}
-	if b.HasEdge(-1, 0) || b.HasEdge(0, 99) {
-		t.Error("out-of-range HasEdge should be false")
-	}
-	if b.Degree(1) != 2 {
-		t.Errorf("Degree(1) = %d", b.Degree(1))
+	if b.Pending() != 3 {
+		t.Errorf("Pending = %d want 3 (self loop dropped, duplicate kept)", b.Pending())
 	}
 	if b.N() != 4 {
 		t.Errorf("N = %d", b.N())
+	}
+	g := b.Build()
+	if g.EdgeCount != 2 {
+		t.Errorf("EdgeCount = %d want 2", g.EdgeCount)
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) || g.HasEdge(0, 2) {
+		t.Error("HasEdge wrong")
+	}
+	if g.Degree(1) != 2 {
+		t.Errorf("Degree(1) = %d", g.Degree(1))
+	}
+}
+
+// TestBuildEdgeCountDedup is the regression test for the dedup-at-build
+// accounting: the seed builder counted edges at insert time, which would
+// overcount duplicates under the flat edge-list scheme.
+func TestBuildEdgeCountDedup(t *testing.T) {
+	b := NewBuilder(5)
+	for i := 0; i < 7; i++ {
+		b.AddEdge(0, 1) // same edge, repeatedly
+	}
+	b.AddEdge(1, 0) // and reversed
+	b.AddEdge(3, 4)
+	g := b.Build()
+	if g.EdgeCount != 2 {
+		t.Fatalf("EdgeCount = %d want 2", g.EdgeCount)
+	}
+	if len(g.Adj) != 2*g.EdgeCount {
+		t.Fatalf("len(Adj) = %d want %d", len(g.Adj), 2*g.EdgeCount)
+	}
+	if got := g.Neighbors(0); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Neighbors(0) = %v", got)
+	}
+	if got := g.MeanDegree(); math.Abs(got-4.0/5) > 1e-12 {
+		t.Errorf("MeanDegree = %v", got)
+	}
+}
+
+func TestBuilderUniqueAndPacked(t *testing.T) {
+	// AddEdgeUnique and AddPacked(unique) must agree with the dedup path
+	// when the uniqueness promise holds.
+	b1 := NewBuilder(6)
+	b2 := NewBuilder(6)
+	var packed []uint64
+	edges := [][2]int32{{0, 1}, {2, 1}, {5, 0}, {3, 4}, {4, 5}}
+	for _, e := range edges {
+		b1.AddEdge(e[0], e[1])
+		b2.AddEdgeUnique(e[0], e[1])
+		packed = append(packed, Pack(e[0], e[1]))
+	}
+	b3 := NewBuilder(6)
+	b3.AddPacked(packed, true)
+	g1, g2, g3 := b1.Build(), b2.Build(), b3.Build()
+	for _, g := range []*CSR{g2, g3} {
+		if !sameCSR(g1, g) {
+			t.Fatalf("builder paths disagree:\n%v\n%v", g1, g)
+		}
+	}
+	if u, v := Unpack(Pack(3, 1)); u != 1 || v != 3 {
+		t.Errorf("Pack/Unpack not canonical: (%d, %d)", u, v)
+	}
+}
+
+func sameCSR(a, b *CSR) bool {
+	if a.N != b.N || a.EdgeCount != b.EdgeCount || len(a.Start) != len(b.Start) || len(a.Adj) != len(b.Adj) {
+		return false
+	}
+	for i := range a.Start {
+		if a.Start[i] != b.Start[i] {
+			return false
+		}
+	}
+	for i := range a.Adj {
+		if a.Adj[i] != b.Adj[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBuildMatchesReferenceProperty checks the counting-sort Build against a
+// straightforward map-based reference over random edge multisets (with
+// duplicates and insertion-order shuffling).
+func TestBuildMatchesReferenceProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		const n = 23
+		b := NewBuilder(n)
+		adj := make(map[int32]map[int32]bool)
+		for _, r := range raw {
+			u, v := int32(r%n), int32((r/n)%n)
+			b.AddEdge(u, v)
+			if u != v {
+				if adj[u] == nil {
+					adj[u] = map[int32]bool{}
+				}
+				if adj[v] == nil {
+					adj[v] = map[int32]bool{}
+				}
+				adj[u][v] = true
+				adj[v][u] = true
+			}
+		}
+		g := b.Build()
+		edges := 0
+		for u := int32(0); u < n; u++ {
+			var want []int32
+			for v := range adj[u] {
+				want = append(want, v)
+			}
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			got := g.Neighbors(u)
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+			edges += len(want)
+		}
+		return g.EdgeCount == edges/2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
 	}
 }
 

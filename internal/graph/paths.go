@@ -36,43 +36,69 @@ func BFS(g *CSR, src int32, dist []int32) []int32 {
 // BFSPath returns a shortest hop path from src to dst (inclusive), or nil if
 // unreachable.
 func BFSPath(g *CSR, src, dst int32) []int32 {
+	return BFSPathInto(g, src, dst, nil, nil)
+}
+
+// BFSPathInto is BFSPath with caller-owned buffers: scratch (parent array,
+// resized to g.N) and dst-slice path (overwritten, returned extended from
+// empty). Either may be nil. Hot loops that expand many short paths over the
+// same graph — the Figure 8 lattice-hop expansion in routing — reuse both
+// across calls instead of allocating O(N) per hop.
+func BFSPathInto(g *CSR, src, dst int32, scratch *PathScratch, path []int32) []int32 {
+	path = path[:0]
 	if src == dst {
-		return []int32{src}
+		return append(path, src)
 	}
-	parent := make([]int32, g.N)
+	if scratch == nil {
+		scratch = &PathScratch{}
+	}
+	parent := scratch.parent
+	if cap(parent) < g.N {
+		parent = make([]int32, g.N)
+	}
+	parent = parent[:g.N]
+	scratch.parent = parent
 	for i := range parent {
 		parent[i] = -1
 	}
+	queue := scratch.queue[:0]
 	parent[src] = src
-	queue := []int32{src}
-	for head := 0; head < len(queue); head++ {
+	queue = append(queue, src)
+	found := false
+	for head := 0; head < len(queue) && !found; head++ {
 		u := queue[head]
 		for _, v := range g.Neighbors(u) {
 			if parent[v] < 0 {
 				parent[v] = u
 				if v == dst {
-					return reconstruct(parent, src, dst)
+					found = true
+					break
 				}
 				queue = append(queue, v)
 			}
 		}
 	}
-	return nil
-}
-
-func reconstruct(parent []int32, src, dst int32) []int32 {
-	var rev []int32
+	scratch.queue = queue
+	if !found {
+		return nil
+	}
+	// Reconstruct dst → src into path, then reverse in place.
 	for v := dst; ; v = parent[v] {
-		rev = append(rev, v)
+		path = append(path, v)
 		if v == src {
 			break
 		}
 	}
-	// Reverse in place.
-	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
-		rev[i], rev[j] = rev[j], rev[i]
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
 	}
-	return rev
+	return path
+}
+
+// PathScratch holds reusable buffers for BFSPathInto.
+type PathScratch struct {
+	parent []int32
+	queue  []int32
 }
 
 // EuclideanWeight returns an edge-weight function measuring Euclidean length
@@ -90,12 +116,26 @@ func PowerWeight(pos []geom.Point, beta float64) func(u, v int32) float64 {
 // Dijkstra computes weighted distances from src under the given edge weight
 // function; unreachable vertices get +Inf.
 func Dijkstra(g *CSR, src int32, weight func(u, v int32) float64) []float64 {
-	dist := make([]float64, g.N)
+	return DijkstraInto(g, src, weight, nil, nil)
+}
+
+// DijkstraInto is Dijkstra with caller-owned buffers: dist (resized to g.N)
+// and scratch (the priority queue). Either may be nil. Monte-Carlo loops
+// that run many single-source computations over the same graph reuse both.
+func DijkstraInto(g *CSR, src int32, weight func(u, v int32) float64, dist []float64, scratch *DijkstraScratch) []float64 {
+	if cap(dist) < g.N {
+		dist = make([]float64, g.N)
+	}
+	dist = dist[:g.N]
 	for i := range dist {
 		dist[i] = math.Inf(1)
 	}
 	dist[src] = 0
-	pq := &distHeap{items: []distItem{{src, 0}}}
+	if scratch == nil {
+		scratch = &DijkstraScratch{}
+	}
+	pq := &scratch.pq
+	pq.items = append(pq.items[:0], distItem{src, 0})
 	for pq.Len() > 0 {
 		it := heap.Pop(pq).(distItem)
 		if it.d > dist[it.v] {
@@ -138,6 +178,11 @@ func DijkstraTo(g *CSR, src, dst int32, weight func(u, v int32) float64) float64
 		}
 	}
 	return math.Inf(1)
+}
+
+// DijkstraScratch holds the reusable priority queue for DijkstraInto.
+type DijkstraScratch struct {
+	pq distHeap
 }
 
 type distItem struct {

@@ -53,28 +53,34 @@ func (uf *UnionFind) Connected(x, y int32) bool { return uf.Find(x) == uf.Find(y
 func (uf *UnionFind) Count() int { return uf.count }
 
 // Components labels each vertex of the graph with a component id in
-// [0, numComponents) and returns (labels, sizes).
+// [0, numComponents) and returns (labels, sizes). Ids are assigned in order
+// of each component's smallest vertex. Implemented as a flood fill over the
+// CSR — O(N + E) with two slab allocations, no union-find or remap table.
 func Components(g *CSR) (labels []int32, sizes []int) {
-	uf := NewUnionFind(g.N)
-	for u := 0; u < g.N; u++ {
-		for _, v := range g.Neighbors(int32(u)) {
-			if v > int32(u) {
-				uf.Union(int32(u), v)
+	labels = make([]int32, g.N)
+	for i := range labels {
+		labels[i] = -1
+	}
+	queue := make([]int32, 0, 256)
+	id := int32(0)
+	for s := 0; s < g.N; s++ {
+		if labels[s] >= 0 {
+			continue
+		}
+		labels[s] = id
+		size := 1
+		queue = append(queue[:0], int32(s))
+		for head := 0; head < len(queue); head++ {
+			for _, v := range g.Neighbors(queue[head]) {
+				if labels[v] < 0 {
+					labels[v] = id
+					size++
+					queue = append(queue, v)
+				}
 			}
 		}
-	}
-	labels = make([]int32, g.N)
-	remap := make(map[int32]int32, uf.Count())
-	for u := 0; u < g.N; u++ {
-		root := uf.Find(int32(u))
-		id, ok := remap[root]
-		if !ok {
-			id = int32(len(remap))
-			remap[root] = id
-			sizes = append(sizes, 0)
-		}
-		labels[u] = id
-		sizes[id]++
+		sizes = append(sizes, size)
+		id++
 	}
 	return labels, sizes
 }

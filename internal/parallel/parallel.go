@@ -1,0 +1,113 @@
+// Package parallel provides the shared data-parallel primitives used by the
+// graph-construction pipeline and the experiment drivers: a work-stealing
+// For loop and a sharded Collect that gathers per-shard results into one
+// slice with a deterministic merge order.
+//
+// Determinism contract: Collect splits [0, n) into fixed-size shards whose
+// boundaries depend only on n — never on GOMAXPROCS or scheduling — and
+// concatenates the per-shard buffers in shard order. A caller whose shard
+// function is a pure function of its index range therefore gets a
+// bit-identical result slice at any worker count, which is what lets the
+// parallel graph builders promise "same seed ⇒ identical CSR".
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// shardSize is the number of indices per Collect/For shard. Fixed (rather
+// than derived from the worker count) so shard boundaries are a pure
+// function of n; large enough to amortize per-shard scratch allocations and
+// scheduling overhead over ~10³ items.
+const shardSize = 1024
+
+// Workers returns the number of workers For and Collect will use for n
+// items: min(GOMAXPROCS, number of shards).
+func Workers(n int) int {
+	shards := (n + shardSize - 1) / shardSize
+	w := runtime.GOMAXPROCS(0)
+	if w > shards {
+		w = shards
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// For runs fn(i) for every i in [0, n) across all cores and waits for
+// completion. Iterations must be independent; fn is called from multiple
+// goroutines. Scheduling is dynamic (shard-grained work stealing), so fn
+// must not rely on any particular assignment of indices to goroutines.
+func For(n int, fn func(i int)) {
+	ForShard(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// ForShard runs fn(lo, hi) over a fixed-size sharding of [0, n) across all
+// cores and waits. It is the loop-blocked form of For: callers that need
+// worker-local scratch allocate it once per shard instead of once per index.
+func ForShard(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	shards := (n + shardSize - 1) / shardSize
+	workers := Workers(n)
+	if workers <= 1 {
+		for s := 0; s < shards; s++ {
+			fn(s*shardSize, min((s+1)*shardSize, n))
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				s := int(next.Add(1)) - 1
+				if s >= shards {
+					return
+				}
+				fn(s*shardSize, min((s+1)*shardSize, n))
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Collect runs fn over a fixed-size sharding of [0, n) across all cores and
+// returns the per-shard outputs concatenated in shard order. fn receives its
+// index range [lo, hi) and a buffer to append to (nil on entry) and returns
+// the extended buffer; it must not retain the buffer after returning.
+//
+// If fn's output for a shard depends only on the shard's index range, the
+// returned slice is identical regardless of GOMAXPROCS.
+func Collect[T any](n int, fn func(lo, hi int, out []T) []T) []T {
+	if n <= 0 {
+		return nil
+	}
+	shards := (n + shardSize - 1) / shardSize
+	if shards == 1 {
+		return fn(0, n, nil)
+	}
+	bufs := make([][]T, shards)
+	ForShard(n, func(lo, hi int) {
+		bufs[lo/shardSize] = fn(lo, hi, nil)
+	})
+	total := 0
+	for _, b := range bufs {
+		total += len(b)
+	}
+	out := make([]T, 0, total)
+	for _, b := range bufs {
+		out = append(out, b...)
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 100, shardSize, shardSize + 1, 3*shardSize + 17} {
+		hits := make([]int32, n)
+		For(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d hit %d times", n, i, h)
+			}
+		}
+	}
+	For(0, func(i int) { t.Error("fn called for n=0") })
+}
+
+func TestForShardPartition(t *testing.T) {
+	n := 2*shardSize + 100
+	covered := make([]int32, n)
+	ForShard(n, func(lo, hi int) {
+		if lo < 0 || hi > n || lo >= hi {
+			t.Errorf("bad shard [%d, %d)", lo, hi)
+		}
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&covered[i], 1)
+		}
+	})
+	for i, c := range covered {
+		if c != 1 {
+			t.Fatalf("index %d covered %d times", i, c)
+		}
+	}
+}
+
+func TestCollectOrderIsDeterministic(t *testing.T) {
+	n := 5*shardSize + 333
+	run := func() []int {
+		return Collect(n, func(lo, hi int, out []int) []int {
+			for i := lo; i < hi; i++ {
+				out = append(out, i*i)
+			}
+			return out
+		})
+	}
+	want := run()
+	if len(want) != n {
+		t.Fatalf("Collect returned %d items, want %d", len(want), n)
+	}
+	// Result must equal the serial order regardless of worker count.
+	prev := runtime.GOMAXPROCS(1)
+	serial := run()
+	runtime.GOMAXPROCS(prev)
+	for i := range want {
+		if want[i] != i*i || serial[i] != i*i {
+			t.Fatalf("item %d: parallel %d serial %d want %d", i, want[i], serial[i], i*i)
+		}
+	}
+}
+
+func TestCollectEmptyAndSmall(t *testing.T) {
+	if got := Collect(0, func(lo, hi int, out []byte) []byte { return append(out, 1) }); got != nil {
+		t.Errorf("Collect(0) = %v", got)
+	}
+	got := Collect(3, func(lo, hi int, out []int) []int {
+		for i := lo; i < hi; i++ {
+			out = append(out, i)
+		}
+		return out
+	})
+	if len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Errorf("Collect(3) = %v", got)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if w := Workers(1); w != 1 {
+		t.Errorf("Workers(1) = %d", w)
+	}
+	if w := Workers(1 << 30); w != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(big) = %d want GOMAXPROCS", w)
+	}
+}

@@ -18,6 +18,7 @@ package rgg
 import (
 	"repro/internal/geom"
 	"repro/internal/graph"
+	"repro/internal/parallel"
 	"repro/internal/spatial"
 )
 
@@ -32,38 +33,56 @@ type Geometric struct {
 func (g *Geometric) EdgeLength(u, v int32) float64 { return g.Pos[u].Dist(g.Pos[v]) }
 
 // UDG builds the unit disk graph with connection radius r over pts.
-// Expected time O(n) for Poisson inputs via a grid with cell size r.
+// Expected time O(n) for Poisson inputs via a grid with cell size r; the
+// point loop runs sharded across all cores with per-shard edge buffers.
+// The result is deterministic: identical CSR at any GOMAXPROCS.
 func UDG(pts []geom.Point, r float64) *Geometric {
 	b := graph.NewBuilder(len(pts))
 	if len(pts) > 0 && r > 0 {
 		grid := spatial.NewGrid(pts, r)
-		var buf []int32
-		for i := range pts {
-			buf = grid.Within(pts[i], r, buf[:0])
-			for _, j := range buf {
-				if j > int32(i) {
-					b.AddEdge(int32(i), j)
+		edges := parallel.Collect(len(pts), func(lo, hi int, out []uint64) []uint64 {
+			var buf []int32
+			for i := lo; i < hi; i++ {
+				buf = grid.Within(pts[i], r, buf[:0])
+				for _, j := range buf {
+					// Emitting only j > i visits each pair once, so the edge
+					// set satisfies the builder's uniqueness fast path.
+					if j > int32(i) {
+						out = append(out, graph.Pack(int32(i), j))
+					}
 				}
 			}
-		}
+			return out
+		})
+		b.AddPacked(edges, true)
 	}
 	return &Geometric{CSR: b.Build(), Pos: pts}
 }
 
 // NN builds the undirected k-nearest-neighbor graph over pts. Each vertex
 // contributes edges to its k nearest distinct points (all points if fewer
-// than k others exist).
+// than k others exist). The query loop runs sharded across all cores, one
+// reusable kNN scratch per shard; mutual-pair duplicates are removed during
+// the CSR build. The result is deterministic: identical CSR at any
+// GOMAXPROCS.
 func NN(pts []geom.Point, k int) *Geometric {
 	b := graph.NewBuilder(len(pts))
 	if len(pts) > 1 && k > 0 {
 		// The kd-tree wins over the grid for kNN at the densities the
 		// experiments use (see the spatial package benchmarks).
 		tree := spatial.NewKDTree(pts)
-		for i := range pts {
-			for _, j := range tree.KNearest(pts[i], k, i) {
-				b.AddEdge(int32(i), j)
+		edges := parallel.Collect(len(pts), func(lo, hi int, out []uint64) []uint64 {
+			var scratch spatial.KNNScratch
+			var nbrs []int32
+			for i := lo; i < hi; i++ {
+				nbrs = tree.KNearestInto(pts[i], k, i, &scratch, nbrs[:0])
+				for _, j := range nbrs {
+					out = append(out, graph.Pack(int32(i), j))
+				}
 			}
-		}
+			return out
+		})
+		b.AddPacked(edges, false)
 	}
 	return &Geometric{CSR: b.Build(), Pos: pts}
 }
@@ -74,8 +93,11 @@ func NN(pts []geom.Point, k int) *Geometric {
 func OutNeighbors(pts []geom.Point, k int) [][]int32 {
 	tree := spatial.NewKDTree(pts)
 	out := make([][]int32, len(pts))
-	for i := range pts {
-		out[i] = tree.KNearest(pts[i], k, i)
-	}
+	parallel.ForShard(len(pts), func(lo, hi int) {
+		var scratch spatial.KNNScratch
+		for i := lo; i < hi; i++ {
+			out[i] = tree.KNearestInto(pts[i], k, i, &scratch, nil)
+		}
+	})
 	return out
 }

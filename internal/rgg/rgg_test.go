@@ -2,12 +2,14 @@ package rgg
 
 import (
 	"math"
+	"runtime"
 	"testing"
 
 	"repro/internal/geom"
 	"repro/internal/graph"
 	"repro/internal/pointprocess"
 	"repro/internal/rng"
+	"repro/internal/spatial"
 )
 
 func TestUDGEdgesRespectRadius(t *testing.T) {
@@ -199,4 +201,85 @@ func BenchmarkNNBuild(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		NN(pts, 8)
 	}
+}
+
+// serialUDG is the O(n²) serial reference: every pair within r, inserted
+// one edge at a time through the dedup-tolerant path.
+func serialUDG(pts []geom.Point, r float64) *graph.CSR {
+	b := graph.NewBuilder(len(pts))
+	for i := 0; i < len(pts); i++ {
+		for j := i + 1; j < len(pts); j++ {
+			if pts[i].Dist(pts[j]) <= r {
+				b.AddEdge(int32(i), int32(j))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// serialNN is the serial reference for the symmetrized k-NN relation, built
+// from brute-force neighbor lists.
+func serialNN(pts []geom.Point, k int) *graph.CSR {
+	b := graph.NewBuilder(len(pts))
+	for i := range pts {
+		for _, j := range spatial.BruteKNearest(pts, pts[i], k, i) {
+			b.AddEdge(int32(i), j)
+		}
+	}
+	return b.Build()
+}
+
+func sameCSR(t *testing.T, label string, a, b *graph.CSR) {
+	t.Helper()
+	if a.N != b.N || a.EdgeCount != b.EdgeCount {
+		t.Fatalf("%s: N/EdgeCount differ: (%d, %d) vs (%d, %d)", label, a.N, a.EdgeCount, b.N, b.EdgeCount)
+	}
+	for i := range a.Start {
+		if a.Start[i] != b.Start[i] {
+			t.Fatalf("%s: Start[%d] = %d vs %d", label, i, a.Start[i], b.Start[i])
+		}
+	}
+	for i := range a.Adj {
+		if a.Adj[i] != b.Adj[i] {
+			t.Fatalf("%s: Adj[%d] = %d vs %d", label, i, a.Adj[i], b.Adj[i])
+		}
+	}
+}
+
+// TestParallelBuildersMatchSerialReference asserts the parallel pipelines
+// produce CSRs byte-identical to the serial O(n²) references across several
+// deployments, including sizes straddling the shard boundary.
+func TestParallelBuildersMatchSerialReference(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 50, 700, 1500, 2500} {
+		pts := pointprocess.Binomial(geom.Box(8, 8), n, rng.New(rng.Seed(40+n)))
+		sameCSR(t, "UDG", UDG(pts, 1).CSR, serialUDG(pts, 1))
+		sameCSR(t, "NN", NN(pts, 4).CSR, serialNN(pts, 4))
+	}
+	// Degenerate: duplicate points (distance ties everywhere).
+	dup := make([]geom.Point, 40)
+	for i := range dup {
+		dup[i] = geom.Pt(float64(i%4), float64(i%4))
+	}
+	sameCSR(t, "UDG-dup", UDG(dup, 1.5).CSR, serialUDG(dup, 1.5))
+	sameCSR(t, "NN-dup", NN(dup, 3).CSR, serialNN(dup, 3))
+}
+
+// TestBuildersDeterministicAcrossGOMAXPROCS is the acceptance-criterion
+// test: same seed ⇒ identical CSR (Start and Adj equal) at worker count 1
+// and at the full default.
+func TestBuildersDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	pts := pointprocess.Poisson(geom.Box(20, 20), 8, rng.New(77))
+	if len(pts) < 2000 {
+		t.Fatalf("deployment too small (%d) to exercise multiple shards", len(pts))
+	}
+	parallelUDG := UDG(pts, 1).CSR
+	parallelNN := NN(pts, 6).CSR
+
+	prev := runtime.GOMAXPROCS(1)
+	serialUDG1 := UDG(pts, 1).CSR
+	serialNN1 := NN(pts, 6).CSR
+	runtime.GOMAXPROCS(prev)
+
+	sameCSR(t, "UDG GOMAXPROCS 1 vs N", serialUDG1, parallelUDG)
+	sameCSR(t, "NN GOMAXPROCS 1 vs N", serialNN1, parallelNN)
 }

@@ -52,26 +52,56 @@ func RouteXY(l *lattice.Lattice, sx, sy, tx, ty int, probeBudget int) Result {
 
 // RouteXYWith is RouteXY with explicit options.
 func RouteXYWith(l *lattice.Lattice, sx, sy, tx, ty int, opt Options) Result {
+	return RouteXYInto(l, sx, sy, tx, ty, opt, nil)
+}
+
+// Scratch holds the reusable buffers of RouteXYInto: the recovery-BFS
+// visited/parent arrays and the probe-memo table, all round-stamped so reuse
+// needs no clearing. One scratch per goroutine; Monte-Carlo loops that route
+// many packets over same-sized lattices allocate nothing per route beyond
+// the returned trajectory.
+type Scratch struct {
+	visited  []int32 // recovery-BFS stamp per site
+	parent   []int32
+	probedAt []int32 // attempt stamp per site (memoization)
+	queue    []int32
+	rev      []int32
+	round    int32 // recovery-BFS stamp, monotonic across calls
+	attempt  int32 // per-call stamp for probedAt
+}
+
+// resize readies the scratch for an n-site lattice, preserving stamps when
+// the size is unchanged and guarding the stamp counters against wraparound.
+func (sc *Scratch) resize(n int) {
+	if len(sc.visited) != n || sc.round > 1<<30 || sc.attempt > 1<<30 {
+		sc.visited = make([]int32, n)
+		sc.parent = make([]int32, n)
+		sc.probedAt = make([]int32, n)
+		sc.round, sc.attempt = 0, 0
+	}
+}
+
+// RouteXYInto is RouteXYWith with caller-owned scratch buffers (nil falls
+// back to allocating fresh ones).
+func RouteXYInto(l *lattice.Lattice, sx, sy, tx, ty int, opt Options, sc *Scratch) Result {
 	res := Result{}
 	if !l.IsOpen(sx, sy) || !l.IsOpen(tx, ty) {
 		return res
 	}
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	sc.resize(l.W * l.H)
+	sc.attempt++
 	cx, cy := sx, sy
 	res.Trajectory = append(res.Trajectory, l.Idx(cx, cy))
-	// Scratch buffers for recovery BFS.
-	visited := make([]int32, l.W*l.H) // 0 = unvisited, else BFS round + 1
-	parent := make([]int32, l.W*l.H)
-	round := int32(0)
-	var probed []bool
-	if opt.Memoize {
-		probed = make([]bool, l.W*l.H)
-	}
+	visited, parent := sc.visited, sc.parent
 	charge := func(i int32) {
-		if probed != nil {
-			if probed[i] {
+		if opt.Memoize {
+			if sc.probedAt[i] == sc.attempt {
 				return
 			}
-			probed[i] = true
+			sc.probedAt[i] = sc.attempt
 		}
 		res.Probes++
 	}
@@ -94,11 +124,12 @@ func RouteXYWith(l *lattice.Lattice, sx, sy, tx, ty int, opt Options) Result {
 		}
 		// Recovery: distributed BFS from curr through the open cluster for
 		// an open site strictly further along the x–y path.
-		round++
+		sc.round++
+		round := sc.round
 		src := l.Idx(cx, cy)
 		visited[src] = round
 		parent[src] = -1
-		queue := []int32{src}
+		queue := append(sc.queue[:0], src)
 		found := int32(-1)
 		for head := 0; head < len(queue) && found < 0; head++ {
 			i := queue[head]
@@ -115,6 +146,7 @@ func RouteXYWith(l *lattice.Lattice, sx, sy, tx, ty int, opt Options) Result {
 				visited[ni] = round
 				charge(ni) // probing this site costs a message
 				if !budgetLeft() {
+					sc.queue = queue
 					return res
 				}
 				if !l.IsOpen(nx, ny) {
@@ -128,15 +160,17 @@ func RouteXYWith(l *lattice.Lattice, sx, sy, tx, ty int, opt Options) Result {
 				queue = append(queue, ni)
 			}
 		}
+		sc.queue = queue
 		if found < 0 {
 			// Open cluster exhausted: target unreachable.
 			return res
 		}
 		// Ship the packet along the BFS tree path curr → found.
-		var rev []int32
+		rev := sc.rev[:0]
 		for i := found; i != src; i = parent[i] {
 			rev = append(rev, i)
 		}
+		sc.rev = rev
 		for j := len(rev) - 1; j >= 0; j-- {
 			res.Hops++
 			res.Trajectory = append(res.Trajectory, rev[j])

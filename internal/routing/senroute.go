@@ -54,12 +54,16 @@ func RouteOnSens(n *core.Network, from, to tiling.Coord, probeBudget int) (SensR
 		return out, nil
 	}
 
-	// Expand consecutive trajectory sites into rep-to-rep SENS subpaths.
+	// Expand consecutive trajectory sites into rep-to-rep SENS subpaths,
+	// reusing one BFS scratch across hops: the seed allocated an O(N) parent
+	// array per lattice hop, which dominated the routing benchmark's bytes.
+	var scratch graph.PathScratch
+	var seg []int32
 	for i := 1; i < len(lat.Trajectory); i++ {
 		pa := n.Map.PhiInv(n.Lat.XY(lat.Trajectory[i-1]))
 		pb := n.Map.PhiInv(n.Lat.XY(lat.Trajectory[i]))
 		ra, rb := n.Tiles[pa].Rep, n.Tiles[pb].Rep
-		seg := graph.BFSPath(n.Graph, ra, rb)
+		seg = graph.BFSPathInto(n.Graph, ra, rb, &scratch, seg[:0])
 		if seg == nil {
 			// The coupling guarantees adjacent good tiles connect; a miss
 			// here means the caller's network violates the invariant.

@@ -11,7 +11,6 @@ package spatial
 
 import (
 	"math"
-	"sort"
 
 	"repro/internal/geom"
 )
@@ -140,16 +139,34 @@ func (g *Grid) Within(q geom.Point, r float64, dst []int32) []int32 {
 
 // KNearest returns the indices of the k points nearest to q, excluding any
 // point whose index equals exclude (pass −1 to exclude nothing). Results are
-// sorted by increasing distance. Fewer than k indices are returned if the
-// index holds fewer eligible points.
+// sorted by increasing distance (ties by index). Fewer than k indices are
+// returned if the index holds fewer eligible points. Allocates the result;
+// hot loops use KNearestInto.
 func (g *Grid) KNearest(q geom.Point, k int, exclude int) []int32 {
 	if k <= 0 || len(g.pts) == 0 {
 		return nil
 	}
+	var s KNNScratch
+	return g.KNearestInto(q, k, exclude, &s, nil)
+}
+
+// KNearestInto appends to dst the indices of the k points nearest to q —
+// excluding index exclude (−1 for none), sorted by increasing distance with
+// ties broken by index — and returns the extended slice. scratch carries the
+// candidate heap across calls; after warm-up the query performs no heap
+// allocations beyond growth of dst.
+func (g *Grid) KNearestInto(q geom.Point, k int, exclude int, scratch *KNNScratch, dst []int32) []int32 {
+	if k <= 0 || len(g.pts) == 0 {
+		return dst
+	}
+	if scratch == nil {
+		scratch = &KNNScratch{}
+	}
+	h := &scratch.h
+	h.reset(k)
 	// Expanding ring search: examine cells in growing L∞ rings around q's
 	// cell; once k candidates are found, expand until the ring's minimum
 	// possible distance exceeds the current k-th distance.
-	h := newMaxHeap(k)
 	cx, cy := g.cellCoords(q)
 	maxRing := g.nx
 	if g.ny > maxRing {
@@ -163,26 +180,28 @@ func (g *Grid) KNearest(q geom.Point, k int, exclude int) []int32 {
 				break
 			}
 		}
-		g.visitRing(cx, cy, ring, func(c int) {
+		cells := g.appendRing(scratch.cells[:0], cx, cy, ring)
+		scratch.cells = cells
+		for _, c := range cells {
 			for _, i := range g.order[g.start[c]:g.start[c+1]] {
 				if int(i) == exclude {
 					continue
 				}
 				h.push(g.pts[i].Dist2(q), i)
 			}
-		})
+		}
 	}
-	return h.sortedIndices()
+	return h.appendSorted(dst)
 }
 
-// visitRing invokes f on each valid cell index at L∞ ring distance `ring`
-// from (cx, cy).
-func (g *Grid) visitRing(cx, cy, ring int, f func(cell int)) {
+// appendRing appends each valid cell index at L∞ ring distance `ring` from
+// (cx, cy) to dst and returns the extended slice.
+func (g *Grid) appendRing(dst []int32, cx, cy, ring int) []int32 {
 	if ring == 0 {
 		if cx >= 0 && cx < g.nx && cy >= 0 && cy < g.ny {
-			f(cy*g.nx + cx)
+			dst = append(dst, int32(cy*g.nx+cx))
 		}
-		return
+		return dst
 	}
 	x0, x1 := cx-ring, cx+ring
 	y0, y1 := cy-ring, cy+ring
@@ -191,10 +210,10 @@ func (g *Grid) visitRing(cx, cy, ring int, f func(cell int)) {
 			continue
 		}
 		if y0 >= 0 && y0 < g.ny {
-			f(y0*g.nx + x)
+			dst = append(dst, int32(y0*g.nx+x))
 		}
 		if y1 >= 0 && y1 < g.ny {
-			f(y1*g.nx + x)
+			dst = append(dst, int32(y1*g.nx+x))
 		}
 	}
 	for y := y0 + 1; y <= y1-1; y++ {
@@ -202,12 +221,13 @@ func (g *Grid) visitRing(cx, cy, ring int, f func(cell int)) {
 			continue
 		}
 		if x0 >= 0 && x0 < g.nx {
-			f(y*g.nx + x0)
+			dst = append(dst, int32(y*g.nx+x0))
 		}
 		if x1 >= 0 && x1 < g.nx {
-			f(y*g.nx + x1)
+			dst = append(dst, int32(y*g.nx+x1))
 		}
 	}
+	return dst
 }
 
 func clampInt(v, lo, hi int) int {
@@ -218,87 +238,4 @@ func clampInt(v, lo, hi int) int {
 		return hi
 	}
 	return v
-}
-
-// maxHeap is a bounded max-heap on (dist2, index) keeping the k smallest.
-type maxHeap struct {
-	k   int
-	d   []float64
-	idx []int32
-}
-
-func newMaxHeap(k int) *maxHeap {
-	return &maxHeap{k: k, d: make([]float64, 0, k), idx: make([]int32, 0, k)}
-}
-
-func (h *maxHeap) full() bool   { return len(h.d) >= h.k }
-func (h *maxHeap) top() float64 { return h.d[0] }
-
-func (h *maxHeap) push(d float64, i int32) {
-	if len(h.d) < h.k {
-		h.d = append(h.d, d)
-		h.idx = append(h.idx, i)
-		h.up(len(h.d) - 1)
-		return
-	}
-	if d >= h.d[0] {
-		return
-	}
-	h.d[0], h.idx[0] = d, i
-	h.down(0)
-}
-
-func (h *maxHeap) up(i int) {
-	for i > 0 {
-		p := (i - 1) / 2
-		if h.d[p] >= h.d[i] {
-			break
-		}
-		h.d[p], h.d[i] = h.d[i], h.d[p]
-		h.idx[p], h.idx[i] = h.idx[i], h.idx[p]
-		i = p
-	}
-}
-
-func (h *maxHeap) down(i int) {
-	n := len(h.d)
-	for {
-		l, r := 2*i+1, 2*i+2
-		big := i
-		if l < n && h.d[l] > h.d[big] {
-			big = l
-		}
-		if r < n && h.d[r] > h.d[big] {
-			big = r
-		}
-		if big == i {
-			return
-		}
-		h.d[big], h.d[i] = h.d[i], h.d[big]
-		h.idx[big], h.idx[i] = h.idx[i], h.idx[big]
-		i = big
-	}
-}
-
-// sortedIndices drains the heap, returning indices by increasing distance.
-func (h *maxHeap) sortedIndices() []int32 {
-	type pair struct {
-		d float64
-		i int32
-	}
-	ps := make([]pair, len(h.d))
-	for j := range h.d {
-		ps[j] = pair{h.d[j], h.idx[j]}
-	}
-	sort.Slice(ps, func(a, b int) bool {
-		if ps[a].d != ps[b].d {
-			return ps[a].d < ps[b].d
-		}
-		return ps[a].i < ps[b].i
-	})
-	out := make([]int32, len(ps))
-	for j, p := range ps {
-		out[j] = p.i
-	}
-	return out
 }

@@ -1,14 +1,14 @@
 package spatial
 
 import (
-	"sort"
-
 	"repro/internal/geom"
 )
 
 // KDTree is a static 2D kd-tree over a point set, built once and queried
 // many times. Nodes are stored in a flat array (implicit tree) for cache
-// friendliness; construction is O(n log n) via median partitioning.
+// friendliness; construction is O(n log n) via quickselect median
+// partitioning, and queries traverse iteratively with an explicit stack so
+// the zero-alloc *Into variants never touch the heap.
 type KDTree struct {
 	pts   []geom.Point
 	nodes []kdNode
@@ -20,6 +20,11 @@ type kdNode struct {
 	left, right int32 // node indices, −1 for none
 	axis        uint8 // 0 = X, 1 = Y
 }
+
+// kdStackDepth bounds the traversal stacks. The tree is median-balanced so
+// its depth is ≤ ⌈log₂ n⌉ + 1 ≤ 32 for int32-indexed points; each visit
+// pushes at most two children, hence 64 slots can never overflow.
+const kdStackDepth = 64
 
 // NewKDTree builds a kd-tree over pts.
 func NewKDTree(pts []geom.Point) *KDTree {
@@ -36,31 +41,91 @@ func NewKDTree(pts []geom.Point) *KDTree {
 	return t
 }
 
+// kdLess is the strict total order used for median selection: coordinate on
+// the splitting axis, ties broken by point index so the tree shape — and
+// therefore every downstream traversal — is deterministic.
+func (t *KDTree) kdLess(a, b int32, axis uint8) bool {
+	pa, pb := t.pts[a], t.pts[b]
+	if axis == 0 {
+		if pa.X != pb.X {
+			return pa.X < pb.X
+		}
+	} else {
+		if pa.Y != pb.Y {
+			return pa.Y < pb.Y
+		}
+	}
+	return a < b
+}
+
+// nthElement partially sorts idx so that idx[k] holds the element of rank k
+// under kdLess and everything before/after it compares below/above —
+// Hoare-partition quickselect with median-of-three pivots. Expected O(n)
+// per call; pivots are deterministic, which keeps builds reproducible.
+func (t *KDTree) nthElement(idx []int32, k int, axis uint8) {
+	lo, hi := 0, len(idx)-1
+	for hi > lo {
+		if hi-lo < 8 {
+			// Insertion sort for tiny ranges.
+			for i := lo + 1; i <= hi; i++ {
+				for j := i; j > lo && t.kdLess(idx[j], idx[j-1], axis); j-- {
+					idx[j], idx[j-1] = idx[j-1], idx[j]
+				}
+			}
+			return
+		}
+		// Median-of-three pivot, moved to lo.
+		mid := lo + (hi-lo)/2
+		if t.kdLess(idx[mid], idx[lo], axis) {
+			idx[mid], idx[lo] = idx[lo], idx[mid]
+		}
+		if t.kdLess(idx[hi], idx[lo], axis) {
+			idx[hi], idx[lo] = idx[lo], idx[hi]
+		}
+		if t.kdLess(idx[hi], idx[mid], axis) {
+			idx[hi], idx[mid] = idx[mid], idx[hi]
+		}
+		idx[lo], idx[mid] = idx[mid], idx[lo]
+		pivot := idx[lo]
+		// Hoare partition.
+		i, j := lo, hi+1
+		for {
+			for {
+				i++
+				if i > hi || !t.kdLess(idx[i], pivot, axis) {
+					break
+				}
+			}
+			for {
+				j--
+				if !t.kdLess(pivot, idx[j], axis) {
+					break
+				}
+			}
+			if i >= j {
+				break
+			}
+			idx[i], idx[j] = idx[j], idx[i]
+		}
+		idx[lo], idx[j] = idx[j], idx[lo]
+		switch {
+		case j == k:
+			return
+		case j < k:
+			lo = j + 1
+		default:
+			hi = j - 1
+		}
+	}
+}
+
 func (t *KDTree) build(idx []int32, depth int) int32 {
 	if len(idx) == 0 {
 		return -1
 	}
 	axis := uint8(depth % 2)
 	mid := len(idx) / 2
-	// nth_element-style partial sort: full sort is fine for construction
-	// (O(n log² n) total) and keeps the code simple and allocation-light.
-	if axis == 0 {
-		sort.Slice(idx, func(a, b int) bool {
-			pa, pb := t.pts[idx[a]], t.pts[idx[b]]
-			if pa.X != pb.X {
-				return pa.X < pb.X
-			}
-			return idx[a] < idx[b]
-		})
-	} else {
-		sort.Slice(idx, func(a, b int) bool {
-			pa, pb := t.pts[idx[a]], t.pts[idx[b]]
-			if pa.Y != pb.Y {
-				return pa.Y < pb.Y
-			}
-			return idx[a] < idx[b]
-		})
-	}
+	t.nthElement(idx, mid, axis)
 	n := kdNode{point: idx[mid], axis: axis, left: -1, right: -1}
 	self := int32(len(t.nodes))
 	t.nodes = append(t.nodes, n)
@@ -75,17 +140,18 @@ func (t *KDTree) build(idx []int32, depth int) int32 {
 func (t *KDTree) Len() int { return len(t.pts) }
 
 // Within appends to dst the indices of all points within distance r of q and
-// returns the extended slice.
+// returns the extended slice. Allocation-free apart from growth of dst.
 func (t *KDTree) Within(q geom.Point, r float64, dst []int32) []int32 {
 	if t.root < 0 {
 		return dst
 	}
 	r2 := r * r
-	var rec func(ni int32)
-	rec = func(ni int32) {
-		if ni < 0 {
-			return
-		}
+	var stackArr [kdStackDepth]int32
+	stack := stackArr[:0]
+	stack = append(stack, t.root)
+	for len(stack) > 0 {
+		ni := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
 		n := &t.nodes[ni]
 		p := t.pts[n.point]
 		if p.Dist2(q) <= r2 {
@@ -101,50 +167,82 @@ func (t *KDTree) Within(q geom.Point, r float64, dst []int32) []int32 {
 		if delta > 0 {
 			near, far = far, near
 		}
-		rec(near)
-		if delta*delta <= r2 {
-			rec(far)
+		if far >= 0 && delta*delta <= r2 {
+			stack = append(stack, far)
+		}
+		if near >= 0 {
+			stack = append(stack, near)
 		}
 	}
-	rec(t.root)
 	return dst
+}
+
+// kdVisit is a deferred far-subtree visit: the subtree is pruned at pop
+// time if the k-th best distance has shrunk below the splitting distance.
+type kdVisit struct {
+	node  int32
+	dist2 float64 // squared distance from q to the splitting plane
 }
 
 // KNearest returns the indices of the k points nearest to q, excluding any
 // point whose index equals exclude (−1 to exclude nothing), sorted by
-// increasing distance.
+// increasing distance (ties by index). Allocates the result; hot loops use
+// KNearestInto.
 func (t *KDTree) KNearest(q geom.Point, k int, exclude int) []int32 {
 	if k <= 0 || t.root < 0 {
 		return nil
 	}
-	h := newMaxHeap(k)
-	var rec func(ni int32)
-	rec = func(ni int32) {
-		if ni < 0 {
-			return
+	var s KNNScratch
+	return t.KNearestInto(q, k, exclude, &s, nil)
+}
+
+// KNearestInto appends to dst the indices of the k points nearest to q —
+// excluding index exclude (−1 for none), sorted by increasing distance with
+// ties broken by index — and returns the extended slice. scratch carries the
+// candidate heap across calls; after warm-up the query performs no heap
+// allocations beyond growth of dst.
+func (t *KDTree) KNearestInto(q geom.Point, k int, exclude int, scratch *KNNScratch, dst []int32) []int32 {
+	if k <= 0 || t.root < 0 {
+		return dst
+	}
+	if scratch == nil {
+		scratch = &KNNScratch{}
+	}
+	h := &scratch.h
+	h.reset(k)
+	var stackArr [kdStackDepth]kdVisit
+	stack := stackArr[:0]
+	stack = append(stack, kdVisit{t.root, 0})
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if h.full() && v.dist2 > h.top() {
+			continue // plane moved out of range since this visit was queued
 		}
-		n := &t.nodes[ni]
-		p := t.pts[n.point]
-		if int(n.point) != exclude {
-			h.push(p.Dist2(q), n.point)
-		}
-		var delta float64
-		if n.axis == 0 {
-			delta = q.X - p.X
-		} else {
-			delta = q.Y - p.Y
-		}
-		near, far := n.left, n.right
-		if delta > 0 {
-			near, far = far, near
-		}
-		rec(near)
-		if !h.full() || delta*delta <= h.top() {
-			rec(far)
+		ni := v.node
+		for ni >= 0 {
+			n := &t.nodes[ni]
+			p := t.pts[n.point]
+			if int(n.point) != exclude {
+				h.push(p.Dist2(q), n.point)
+			}
+			var delta float64
+			if n.axis == 0 {
+				delta = q.X - p.X
+			} else {
+				delta = q.Y - p.Y
+			}
+			near, far := n.left, n.right
+			if delta > 0 {
+				near, far = far, near
+			}
+			if far >= 0 && (!h.full() || delta*delta <= h.top()) {
+				stack = append(stack, kdVisit{far, delta * delta})
+			}
+			ni = near // descend the near side without a stack push
 		}
 	}
-	rec(t.root)
-	return h.sortedIndices()
+	return h.appendSorted(dst)
 }
 
 // BruteWithin returns (for testing and small inputs) the indices of points
@@ -163,29 +261,16 @@ func BruteWithin(pts []geom.Point, q geom.Point, r float64) []int32 {
 // BruteKNearest returns the k nearest points to q by exhaustive scan,
 // excluding index exclude, sorted by increasing distance (ties by index).
 func BruteKNearest(pts []geom.Point, q geom.Point, k int, exclude int) []int32 {
-	type pair struct {
-		d float64
-		i int32
+	if k <= 0 {
+		return nil
 	}
-	ps := make([]pair, 0, len(pts))
+	var h maxHeap
+	h.reset(k)
 	for i, p := range pts {
 		if i == exclude {
 			continue
 		}
-		ps = append(ps, pair{p.Dist2(q), int32(i)})
+		h.push(p.Dist2(q), int32(i))
 	}
-	sort.Slice(ps, func(a, b int) bool {
-		if ps[a].d != ps[b].d {
-			return ps[a].d < ps[b].d
-		}
-		return ps[a].i < ps[b].i
-	})
-	if k > len(ps) {
-		k = len(ps)
-	}
-	out := make([]int32, k)
-	for i := 0; i < k; i++ {
-		out[i] = ps[i].i
-	}
-	return out
+	return h.appendSorted(nil)
 }

@@ -276,3 +276,137 @@ func BenchmarkKDTreeKNearest(b *testing.B) {
 		tree.KNearest(q, 10, -1)
 	}
 }
+
+// TestKNearestExactAgreementDegenerate checks index-exact agreement (not
+// just distance multisets) between both indexes and BruteKNearest on
+// clustered and degenerate inputs: duplicate points force distance ties that
+// only resolve identically because all three break ties by index.
+func TestKNearestExactAgreementDegenerate(t *testing.T) {
+	cases := map[string][]geom.Point{
+		"duplicates": {
+			geom.Pt(1, 1), geom.Pt(1, 1), geom.Pt(1, 1), geom.Pt(1, 1),
+			geom.Pt(2, 2), geom.Pt(2, 2), geom.Pt(0, 3),
+		},
+		"collinear": {
+			geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(2, 0), geom.Pt(3, 0),
+			geom.Pt(4, 0), geom.Pt(5, 0), geom.Pt(6, 0), geom.Pt(7, 0),
+		},
+		"clustered": {
+			geom.Pt(0, 0), geom.Pt(1e-9, 0), geom.Pt(0, 1e-9), geom.Pt(1e-9, 1e-9),
+			geom.Pt(5, 5), geom.Pt(5+1e-9, 5), geom.Pt(5, 5+1e-9),
+		},
+		"symmetric-ties": {
+			geom.Pt(1, 0), geom.Pt(-1, 0), geom.Pt(0, 1), geom.Pt(0, -1),
+			geom.Pt(2, 0), geom.Pt(-2, 0), geom.Pt(0, 2), geom.Pt(0, -2),
+		},
+	}
+	for name, pts := range cases {
+		grid := NewGrid(pts, 0.8)
+		tree := NewKDTree(pts)
+		queries := append([]geom.Point{geom.Pt(0, 0), geom.Pt(1, 1), geom.Pt(2.5, 0.5)}, pts...)
+		for _, q := range queries {
+			// k sweeps through and beyond n to cover the k > n case.
+			for k := 1; k <= len(pts)+2; k++ {
+				for _, exclude := range []int{-1, 0, len(pts) - 1} {
+					want := BruteKNearest(pts, q, k, exclude)
+					if got := grid.KNearest(q, k, exclude); !equalInt32(got, want) {
+						t.Fatalf("%s: grid KNearest(%v, %d, %d) = %v want %v", name, q, k, exclude, got, want)
+					}
+					if got := tree.KNearest(q, k, exclude); !equalInt32(got, want) {
+						t.Fatalf("%s: kdtree KNearest(%v, %d, %d) = %v want %v", name, q, k, exclude, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestKNearestIntoMatchesAllocating checks that the buffered variants with a
+// shared scratch reproduce the allocating wrappers exactly, including when
+// dst is reused across queries.
+func TestKNearestIntoMatchesAllocating(t *testing.T) {
+	pts := randomPoints(600, 31)
+	grid := NewGrid(pts, 0.6)
+	tree := NewKDTree(pts)
+	g := rng.New(32)
+	var scratch KNNScratch
+	var buf []int32
+	for trial := 0; trial < 300; trial++ {
+		q := geom.Pt(g.Float64()*12-1, g.Float64()*12-1)
+		k := 1 + g.IntN(12)
+		exclude := -1
+		if trial%3 == 0 {
+			exclude = g.IntN(len(pts))
+		}
+		buf = grid.KNearestInto(q, k, exclude, &scratch, buf[:0])
+		if want := grid.KNearest(q, k, exclude); !equalInt32(buf, want) {
+			t.Fatalf("grid Into mismatch at trial %d: %v want %v", trial, buf, want)
+		}
+		buf = tree.KNearestInto(q, k, exclude, &scratch, buf[:0])
+		if want := tree.KNearest(q, k, exclude); !equalInt32(buf, want) {
+			t.Fatalf("kdtree Into mismatch at trial %d: %v want %v", trial, buf, want)
+		}
+	}
+}
+
+// TestQueryAllocationFree asserts the zero-alloc contract of the buffered
+// queries once scratch and dst have reached steady state.
+func TestQueryAllocationFree(t *testing.T) {
+	pts := randomPoints(20000, 33)
+	grid := NewGrid(pts, 0.3)
+	tree := NewKDTree(pts)
+	var scratch KNNScratch
+	var buf []int32
+	q := geom.Pt(5, 5)
+	// Warm up buffers.
+	buf = tree.KNearestInto(q, 16, -1, &scratch, buf[:0])
+	buf = grid.KNearestInto(q, 16, -1, &scratch, buf[:0])
+	buf = tree.Within(q, 0.5, buf[:0])
+	buf = grid.Within(q, 0.5, buf[:0])
+
+	if a := testing.AllocsPerRun(100, func() {
+		buf = tree.KNearestInto(q, 16, -1, &scratch, buf[:0])
+	}); a > 0 {
+		t.Errorf("kdtree KNearestInto allocates %v/op", a)
+	}
+	if a := testing.AllocsPerRun(100, func() {
+		buf = grid.KNearestInto(q, 16, -1, &scratch, buf[:0])
+	}); a > 0 {
+		t.Errorf("grid KNearestInto allocates %v/op", a)
+	}
+	if a := testing.AllocsPerRun(100, func() {
+		buf = tree.Within(q, 0.5, buf[:0])
+	}); a > 0 {
+		t.Errorf("kdtree Within allocates %v/op", a)
+	}
+	if a := testing.AllocsPerRun(100, func() {
+		buf = grid.Within(q, 0.5, buf[:0])
+	}); a > 0 {
+		t.Errorf("grid Within allocates %v/op", a)
+	}
+}
+
+// TestKDTreeDeterministicBuild checks that two builds over the same points
+// produce identical trees (quickselect pivots are deterministic).
+func TestKDTreeDeterministicBuild(t *testing.T) {
+	pts := randomPoints(1000, 34)
+	a, b := NewKDTree(pts), NewKDTree(pts)
+	if len(a.nodes) != len(b.nodes) || a.root != b.root {
+		t.Fatal("tree shapes differ")
+	}
+	for i := range a.nodes {
+		if a.nodes[i] != b.nodes[i] {
+			t.Fatalf("node %d differs: %+v vs %+v", i, a.nodes[i], b.nodes[i])
+		}
+	}
+}
+
+func TestBruteKNearestNonPositiveK(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 1)}
+	if got := BruteKNearest(pts, geom.Pt(0, 0), 0, -1); len(got) != 0 {
+		t.Errorf("k=0 should be empty, got %v", got)
+	}
+	if got := BruteKNearest(pts, geom.Pt(0, 0), -3, -1); len(got) != 0 {
+		t.Errorf("k<0 should be empty, got %v", got)
+	}
+}

@@ -28,15 +28,48 @@ func MonteCarloGoodProbability(side, lambda float64, good func([]geom.Point) boo
 
 // AssignTiles groups point indices by the tile containing them under the
 // given map, returning only tiles inside the mapped window. The returned
-// slices index into pts.
+// slices index into pts; they are subslices of one shared slab, built by
+// counting sort over the window's linear tile ids — two O(n) passes and a
+// handful of allocations instead of per-tile append growth.
 func AssignTiles(m Map, pts []geom.Point) map[Coord][]int32 {
 	out := make(map[Coord][]int32)
+	nt := m.W * m.H
+	if nt <= 0 || len(pts) == 0 {
+		return out
+	}
+	// Pass 1: linear tile id per point (−1 for unmapped), counts per tile.
+	cell := make([]int32, len(pts))
+	counts := make([]int32, nt+1)
 	for i, p := range pts {
 		c := m.Tiling.TileOf(p)
-		if _, _, ok := m.Phi(c); !ok {
+		x, y, ok := m.Phi(c)
+		if !ok {
+			cell[i] = -1
 			continue
 		}
-		out[c] = append(out[c], int32(i))
+		id := int32(y*m.W + x)
+		cell[i] = id
+		counts[id+1]++
+	}
+	for t := 0; t < nt; t++ {
+		counts[t+1] += counts[t]
+	}
+	// Pass 2: scatter into the slab; counts[t] becomes the running cursor
+	// and ends at the start of tile t+1.
+	order := make([]int32, counts[nt])
+	for i := range pts {
+		if c := cell[i]; c >= 0 {
+			order[counts[c]] = int32(i)
+			counts[c]++
+		}
+	}
+	start := int32(0)
+	for t := 0; t < nt; t++ {
+		end := counts[t]
+		if end > start {
+			out[m.PhiInv(t%m.W, t/m.W)] = order[start:end]
+		}
+		start = end
 	}
 	return out
 }

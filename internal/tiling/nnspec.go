@@ -90,11 +90,16 @@ type NNGeometry struct {
 	c0      geom.Circle
 	disks   [4]geom.Circle
 	samples [4][]boundarySample // per direction: q and its largest-circle radius
+	// bridgeBox conservatively bounds bridge region E_d: the tile clipped to
+	// every sampled circle's bounding box. Points outside it skip the sample
+	// scan entirely, which is the common case for the construction loop.
+	bridgeBox [4]geom.Rect
 }
 
 type boundarySample struct {
-	q    geom.Point
-	rmax float64
+	q     geom.Point
+	rmax  float64
+	rmax2 float64 // rmax² — membership compares squared distances
 }
 
 // Compile precomputes the boundary samples for the four bridge regions.
@@ -115,14 +120,40 @@ func (s NNSpec) Compile() *NNGeometry {
 		// Union of tile t and neighbor t_d is a 20a×10a rectangle.
 		u := g.tile.Union(geom.Square(dir.Scale(10*a), 10*a))
 		var samp []boundarySample
+		box := g.tile
+		empty := false
 		for _, c := range []geom.Circle{g.c0, g.disks[d]} {
 			for i := 0; i < s.Samples; i++ {
 				theta := 2 * math.Pi * float64(i) / float64(s.Samples)
 				q := c.Center.Add(geom.Pt(c.R*math.Cos(theta), c.R*math.Sin(theta)))
-				samp = append(samp, boundarySample{q: q, rmax: insetDistance(u, q)})
+				rmax := insetDistance(u, q)
+				// Signed square: a negative inset (sample outside the union
+				// rect) must keep rejecting every point, as d > rmax did.
+				samp = append(samp, boundarySample{q: q, rmax: rmax, rmax2: rmax * math.Abs(rmax)})
+				if rmax < 0 {
+					// NewRect would normalize the inverted corners into a
+					// non-empty box, so detect the empty bridge directly.
+					empty = true
+					break
+				}
+				var ok bool
+				box, ok = box.Intersect(geom.NewRect(
+					geom.Pt(q.X-rmax, q.Y-rmax), geom.Pt(q.X+rmax, q.Y+rmax)))
+				if !ok {
+					empty = true
+					break
+				}
+			}
+			if empty {
+				break
 			}
 		}
 		g.samples[d] = samp
+		if empty {
+			// Inverted rect: contains no point.
+			box = geom.Rect{Min: geom.Pt(1, 1), Max: geom.Pt(0, 0)}
+		}
+		g.bridgeBox[d] = box
 	}
 	return g
 }
@@ -141,7 +172,9 @@ func insetDistance(r geom.Rect, q geom.Point) float64 {
 // outside the five disks (the disks take classification precedence, and
 // keeping the regions disjoint matches the paper's Figure 5).
 func (g *NNGeometry) BridgeContains(d Direction, p geom.Point) bool {
-	if !g.tile.Contains(p) {
+	if !g.bridgeBox[d].Contains(p) {
+		// Covers the tile test: bridgeBox is the tile clipped to the
+		// sampled circles' boxes.
 		return false
 	}
 	if g.c0.Contains(p) {
@@ -153,7 +186,7 @@ func (g *NNGeometry) BridgeContains(d Direction, p geom.Point) bool {
 		}
 	}
 	for _, s := range g.samples[d] {
-		if p.Dist(s.q) > s.rmax {
+		if p.Dist2(s.q) > s.rmax2 {
 			return false
 		}
 	}

@@ -12,8 +12,9 @@ import (
 // actual region geometry, so literal-mode output visibly has no relay
 // cells — the Figure 3 that the paper should have drawn.
 func RenderUDGTile(s UDGSpec, cols int) string {
+	gm := s.Compile()
 	return renderTile(s.Side, cols, func(p geom.Point) byte {
-		switch s.Classify(p) {
+		switch gm.Classify(p) {
 		case UC0:
 			return 'C'
 		case URelayRight:

@@ -196,9 +196,61 @@ const (
 // URelay returns the region id of the relay region in direction d.
 func URelay(d Direction) URegion { return URelayRight + URegion(d) }
 
+// UDGGeometry is a compiled UDGSpec: C0 and the four relay regions are
+// materialized once so per-point classification allocates nothing.
+// (UDGSpec.RelayRegion builds a fresh Region value per call, which boxes
+// into an interface on every membership test — that allocation dominated
+// the whole UDG-SENS construction before classification was compiled.)
+type UDGGeometry struct {
+	Spec  UDGSpec
+	c0    geom.Circle
+	relay [4]geom.Region
+	// Repaired-mode fast path: the relay regions are plain circles, tested
+	// directly instead of through the Region interface.
+	relayCircle [4]geom.Circle
+	circles     bool
+}
+
+// Compile precomputes the region values for per-point classification.
+func (s UDGSpec) Compile() *UDGGeometry {
+	g := &UDGGeometry{Spec: s, c0: geom.NewCircle(geom.Pt(0, 0), s.R0)}
+	g.circles = s.Mode == GeometryRepaired
+	for _, d := range Directions {
+		g.relay[d] = s.RelayRegion(d)
+		if c, ok := g.relay[d].(geom.Circle); ok {
+			g.relayCircle[d] = c
+		} else {
+			g.circles = false
+		}
+	}
+	return g
+}
+
 // Classify returns the region containing the tile-local point p. When
 // relay regions overlap (relaxed mode corners), the first direction in
 // Directions order wins; C0 always takes precedence.
+func (g *UDGGeometry) Classify(p geom.Point) URegion {
+	if g.c0.Contains(p) {
+		return UC0
+	}
+	if g.circles {
+		for d, c := range g.relayCircle {
+			if c.Contains(p) {
+				return URelay(Direction(d))
+			}
+		}
+		return UNone
+	}
+	for _, d := range Directions {
+		if g.relay[d].Contains(p) {
+			return URelay(d)
+		}
+	}
+	return UNone
+}
+
+// Classify is the uncompiled form: convenient for one-off queries, but it
+// rebuilds the region values per call — point loops should Compile first.
 func (s UDGSpec) Classify(p geom.Point) URegion {
 	if s.CenterRegion().Contains(p) {
 		return UC0
@@ -212,12 +264,19 @@ func (s UDGSpec) Classify(p geom.Point) URegion {
 }
 
 // TileGood reports whether a tile whose local points are given is good:
-// C0 and all four relay regions are occupied.
+// C0 and all four relay regions are occupied. Monte-Carlo loops should
+// Compile once and use UDGGeometry.TileGood instead.
 func (s UDGSpec) TileGood(localPts []geom.Point) bool {
+	return s.Compile().TileGood(localPts)
+}
+
+// TileGood reports whether a tile whose local points are given is good:
+// C0 and all four relay regions are occupied.
+func (g *UDGGeometry) TileGood(localPts []geom.Point) bool {
 	var have [5]bool
 	need := 5
 	for _, p := range localPts {
-		r := s.Classify(p)
+		r := g.Classify(p)
 		if r == UNone || have[r-1] {
 			continue
 		}

@@ -15,43 +15,54 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/graph"
+	"repro/internal/parallel"
 	"repro/internal/rgg"
 )
+
+// The witness scans (Gabriel, RNG) and the cone scan (Yao) are embarrassingly
+// parallel over the source vertex: each vertex decides its kept edges from
+// base adjacency alone. They run sharded across all cores with per-shard
+// packed-edge buffers merged in shard order, so the output CSR is identical
+// at any GOMAXPROCS.
 
 // Gabriel returns the Gabriel graph restricted to base edges: {u, v} is
 // kept iff the disk with diameter uv contains no other point.
 func Gabriel(base *rgg.Geometric) *rgg.Geometric {
 	pts := base.Pos
 	b := graph.NewBuilder(len(pts))
-	for u := int32(0); int(u) < base.N; u++ {
-		for _, v := range base.Neighbors(u) {
-			if v <= u {
-				continue
-			}
-			mid := geom.Midpoint(pts[u], pts[v])
-			r2 := pts[u].Dist2(pts[v]) / 4
-			ok := true
-			// Any witness must be a UDG neighbor of u or v (it lies within
-			// the uv-diameter disk, so within d(u,v) ≤ radius of both).
-			for _, w := range base.Neighbors(u) {
-				if w != v && mid.Dist2(pts[w]) < r2-1e-15 {
-					ok = false
-					break
+	edges := parallel.Collect(base.N, func(lo, hi int, out []uint64) []uint64 {
+		for u := int32(lo); u < int32(hi); u++ {
+			for _, v := range base.Neighbors(u) {
+				if v <= u {
+					continue
 				}
-			}
-			if ok {
-				for _, w := range base.Neighbors(v) {
-					if w != u && mid.Dist2(pts[w]) < r2-1e-15 {
+				mid := geom.Midpoint(pts[u], pts[v])
+				r2 := pts[u].Dist2(pts[v]) / 4
+				ok := true
+				// Any witness must be a UDG neighbor of u or v (it lies within
+				// the uv-diameter disk, so within d(u,v) ≤ radius of both).
+				for _, w := range base.Neighbors(u) {
+					if w != v && mid.Dist2(pts[w]) < r2-1e-15 {
 						ok = false
 						break
 					}
 				}
-			}
-			if ok {
-				b.AddEdge(u, v)
+				if ok {
+					for _, w := range base.Neighbors(v) {
+						if w != u && mid.Dist2(pts[w]) < r2-1e-15 {
+							ok = false
+							break
+						}
+					}
+				}
+				if ok {
+					out = append(out, graph.Pack(u, v))
+				}
 			}
 		}
-	}
+		return out
+	})
+	b.AddPacked(edges, true)
 	return &rgg.Geometric{CSR: b.Build(), Pos: pts}
 }
 
@@ -61,29 +72,33 @@ func Gabriel(base *rgg.Geometric) *rgg.Geometric {
 func RelativeNeighborhood(base *rgg.Geometric) *rgg.Geometric {
 	pts := base.Pos
 	b := graph.NewBuilder(len(pts))
-	for u := int32(0); int(u) < base.N; u++ {
-		for _, v := range base.Neighbors(u) {
-			if v <= u {
-				continue
-			}
-			duv := pts[u].Dist2(pts[v])
-			ok := true
-			// A lune witness is within d(u,v) of both u and v, hence a UDG
-			// neighbor of u.
-			for _, w := range base.Neighbors(u) {
-				if w == v {
+	edges := parallel.Collect(base.N, func(lo, hi int, out []uint64) []uint64 {
+		for u := int32(lo); u < int32(hi); u++ {
+			for _, v := range base.Neighbors(u) {
+				if v <= u {
 					continue
 				}
-				if pts[u].Dist2(pts[w]) < duv-1e-15 && pts[v].Dist2(pts[w]) < duv-1e-15 {
-					ok = false
-					break
+				duv := pts[u].Dist2(pts[v])
+				ok := true
+				// A lune witness is within d(u,v) of both u and v, hence a UDG
+				// neighbor of u.
+				for _, w := range base.Neighbors(u) {
+					if w == v {
+						continue
+					}
+					if pts[u].Dist2(pts[w]) < duv-1e-15 && pts[v].Dist2(pts[w]) < duv-1e-15 {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					out = append(out, graph.Pack(u, v))
 				}
 			}
-			if ok {
-				b.AddEdge(u, v)
-			}
 		}
-	}
+		return out
+	})
+	b.AddPacked(edges, true)
 	return &rgg.Geometric{CSR: b.Build(), Pos: pts}
 }
 
@@ -96,31 +111,37 @@ func Yao(base *rgg.Geometric, cones int) *rgg.Geometric {
 	}
 	pts := base.Pos
 	b := graph.NewBuilder(len(pts))
-	best := make([]int32, cones)
-	bestD := make([]float64, cones)
-	for u := int32(0); int(u) < base.N; u++ {
-		for c := range best {
-			best[c] = -1
-			bestD[c] = math.Inf(1)
-		}
-		for _, v := range base.Neighbors(u) {
-			dir := pts[v].Sub(pts[u])
-			theta := dir.Angle() // (−π, π]
-			c := int((theta + math.Pi) / (2 * math.Pi) * float64(cones))
-			if c >= cones {
-				c = cones - 1
+	edges := parallel.Collect(base.N, func(lo, hi int, out []uint64) []uint64 {
+		best := make([]int32, cones)
+		bestD := make([]float64, cones)
+		for u := int32(lo); u < int32(hi); u++ {
+			for c := range best {
+				best[c] = -1
+				bestD[c] = math.Inf(1)
 			}
-			if d := dir.Norm2(); d < bestD[c] {
-				bestD[c] = d
-				best[c] = v
+			for _, v := range base.Neighbors(u) {
+				dir := pts[v].Sub(pts[u])
+				theta := dir.Angle() // (−π, π]
+				c := int((theta + math.Pi) / (2 * math.Pi) * float64(cones))
+				if c >= cones {
+					c = cones - 1
+				}
+				if d := dir.Norm2(); d < bestD[c] {
+					bestD[c] = d
+					best[c] = v
+				}
+			}
+			for _, v := range best {
+				if v >= 0 {
+					// Opposite cones of v may select the same pair; dedup at
+					// build handles the double emission.
+					out = append(out, graph.Pack(u, v))
+				}
 			}
 		}
-		for _, v := range best {
-			if v >= 0 {
-				b.AddEdge(u, v)
-			}
-		}
-	}
+		return out
+	})
+	b.AddPacked(edges, false)
 	return &rgg.Geometric{CSR: b.Build(), Pos: pts}
 }
 

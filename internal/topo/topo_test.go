@@ -1,6 +1,7 @@
 package topo
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/geom"
@@ -198,5 +199,37 @@ func TestEmptyInputs(t *testing.T) {
 	if Gabriel(empty).N != 0 || RelativeNeighborhood(empty).N != 0 ||
 		Yao(empty, 6).N != 0 || EMST(empty).N != 0 {
 		t.Error("empty baselines wrong")
+	}
+}
+
+// TestTopoDeterministicAcrossGOMAXPROCS checks the parallel witness scans
+// produce identical CSRs at worker count 1 and the full default.
+func TestTopoDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	pts := pointprocess.Poisson(geom.Box(15, 15), 8, rng.New(55))
+	base := rgg.UDG(pts, 1)
+	type build func() *rgg.Geometric
+	builds := map[string]build{
+		"gabriel": func() *rgg.Geometric { return Gabriel(base) },
+		"rng":     func() *rgg.Geometric { return RelativeNeighborhood(base) },
+		"yao":     func() *rgg.Geometric { return Yao(base, 6) },
+	}
+	for name, f := range builds {
+		parallelG := f().CSR
+		prev := runtime.GOMAXPROCS(1)
+		serialG := f().CSR
+		runtime.GOMAXPROCS(prev)
+		if parallelG.EdgeCount != serialG.EdgeCount {
+			t.Fatalf("%s: EdgeCount %d vs %d", name, parallelG.EdgeCount, serialG.EdgeCount)
+		}
+		for i := range parallelG.Start {
+			if parallelG.Start[i] != serialG.Start[i] {
+				t.Fatalf("%s: Start[%d] differs", name, i)
+			}
+		}
+		for i := range parallelG.Adj {
+			if parallelG.Adj[i] != serialG.Adj[i] {
+				t.Fatalf("%s: Adj[%d] differs", name, i)
+			}
+		}
 	}
 }

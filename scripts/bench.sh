@@ -1,0 +1,41 @@
+#!/bin/sh
+# bench.sh [output.json] — run the full benchmark suite once per benchmark
+# (-benchtime=1x -benchmem) and write the results as JSON so successive PRs
+# have a machine-readable perf trajectory to compare against.
+set -eu
+
+out="${1:-BENCH_baseline.json}"
+cd "$(dirname "$0")/.."
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -bench=. -benchtime=1x -benchmem -run='^$' ./... | tee "$raw"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gover="$(go version | awk '{print $3}')" '
+BEGIN { n = 0 }
+/^cpu:/ { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = ""; allocs = ""; extra = ""
+    for (i = 2; i <= NF; i++) {
+        if ($(i+1) == "ns/op")     ns = $i
+        if ($(i+1) == "B/op")      bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+        if ($(i+1) == "points")    extra = $i
+    }
+    if (ns == "") next
+    line = sprintf("    {\"name\": \"%s\", \"ns_per_op\": %s", name, ns)
+    if (bytes != "")  line = line sprintf(", \"bytes_per_op\": %s", bytes)
+    if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
+    if (extra != "")  line = line sprintf(", \"points\": %s", extra)
+    line = line "}"
+    rows[n++] = line
+}
+END {
+    printf "{\n  \"generated\": \"%s\",\n  \"go\": \"%s\",\n  \"cpu\": \"%s\",\n  \"benchmarks\": [\n", date, gover, cpu
+    for (i = 0; i < n; i++) printf "%s%s\n", rows[i], (i < n-1 ? "," : "")
+    printf "  ]\n}\n"
+}' "$raw" > "$out"
+
+echo "wrote $out"
