@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify test bench baseline
+.PHONY: verify test bench baseline bench-compare
 
 # verify is the tier-1 gate: build + vet + full test suite.
 verify:
@@ -20,3 +20,8 @@ bench:
 # that future PRs diff against.
 baseline:
 	scripts/bench.sh BENCH_baseline.json
+
+# bench-compare runs a fresh suite and diffs it against the checked-in
+# baseline — the pre-merge gate for perf-sensitive PRs.
+bench-compare:
+	scripts/bench.sh --compare BENCH_baseline.json

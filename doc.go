@@ -56,10 +56,23 @@
 //     zero allocations per query at steady state, one KNNScratch per
 //     worker shard.
 //
-// rgg.UDG, rgg.NN and the topo baselines (Gabriel, RNG, Yao) generate
-// packed edges through parallel.Collect; the SENS constructions, routing
-// and the stretch samplers reuse BFS/Dijkstra/route scratch buffers across
-// their loops. `make verify` is the tier-1 gate and `make bench` /
-// scripts/bench.sh regenerate BENCH_baseline.json, the checked-in
-// performance trajectory.
+// rgg.UDG, rgg.NN and the topo baselines (Gabriel, RNG, Yao, the
+// filter-Kruskal/radix-sorted EMST) generate packed edges through
+// parallel.Collect; the SENS constructions, routing and the stretch
+// samplers reuse BFS/Dijkstra/route scratch buffers across their loops.
+//
+// Stretch and power measurement (the E08/E11/E14 Monte-Carlo loops) runs
+// on the batched engine in internal/power: a Measurer precomputes per-edge
+// weight slabs (Euclidean length and d^β power, aligned with the CSR
+// adjacency), groups sampled pairs by source vertex, and runs one buffered
+// Dijkstra sweep per (source, weight, graph) — covering every target of
+// that source — with sources fanned out across cores via
+// parallel.CollectGrain (grain 1: one heavyweight sweep per shard).
+// Sampling randomness stays serial, so experiment tables are byte-identical
+// at any GOMAXPROCS for a fixed seed.
+//
+// `make verify` is the tier-1 gate; `make baseline` / scripts/bench.sh
+// regenerate BENCH_baseline.json, the checked-in performance trajectory,
+// and `make bench-compare` diffs a fresh run against it before merging
+// perf-sensitive changes.
 package sensnet

@@ -1,43 +1,43 @@
 package core
 
 import (
+	"math"
 	"math/rand/v2"
 
 	"repro/internal/geom"
 	"repro/internal/graph"
 	"repro/internal/lattice"
+	"repro/internal/power"
 	"repro/internal/stats"
 	"repro/internal/tiling"
 )
 
 // StretchSample records one representative pair measurement for the
-// Theorem 3.2 experiments.
+// Theorem 3.2 experiments. It is the shared power.StretchSample shape
+// (Euclid, SubLen — the Euclidean-weighted shortest-path length in the SENS
+// subgraph — and Hops) extended with the lattice-level distance of the
+// coupling.
 type StretchSample struct {
-	// Euclid is the Euclidean distance between the two representatives —
-	// the lower bound any path must beat.
-	Euclid float64
-	// PathLen is the Euclidean-weighted shortest-path length between them
-	// in the SENS subgraph.
-	PathLen float64
-	// Hops is the hop count of the shortest hop path in the SENS subgraph.
-	Hops int
+	power.StretchSample
 	// LatticeD is the L1 distance between the two tiles under φ — the
 	// D(x, y) of Lemma 1.1 / Theorem 3.2.
 	LatticeD int
 }
 
-// Stretch returns PathLen / Euclid (the distance stretch δ of §1).
-func (s StretchSample) Stretch() float64 {
-	if s.Euclid == 0 {
-		return 1
-	}
-	return s.PathLen / s.Euclid
-}
+// Stretch returns SubLen / Euclid (the distance stretch δ of §1).
+func (s StretchSample) Stretch() float64 { return s.EuclidStretch() }
 
 // SampleRepStretch measures stretch between random pairs of good-tile
-// representatives inside the largest component. To amortize shortest-path
-// costs, it picks random source reps and, for each, measures several random
-// targets (fanout per source ≈ √pairs).
+// representatives inside the largest component. Pairs are drawn with a
+// source fanout (several targets per source, fanout 8) and measured through
+// the batched power.MeasurePairs engine: one buffered Dijkstra+BFS sweep
+// per distinct source covers all of that source's targets.
+//
+// Sampling is attempt-bounded: pairs whose endpoints are disconnected in
+// the subgraph (possible only pre-prune, when reps sit in different
+// components) are skipped, and after maxAttempts draws the samples
+// collected so far are returned — possibly fewer than requested, never an
+// infinite loop.
 func (n *Network) SampleRepStretch(pairs int, rng *rand.Rand) []StretchSample {
 	reps, coords := n.GoodReps()
 	if len(reps) < 2 || pairs <= 0 {
@@ -47,32 +47,37 @@ func (n *Network) SampleRepStretch(pairs int, rng *rand.Rand) []StretchSample {
 	if pairs < fanout {
 		fanout = pairs
 	}
-	weight := graph.EuclideanWeight(n.Pts)
-	var out []StretchSample
-	var hopBuf []int32
-	var wdist []float64
-	var scratch graph.DijkstraScratch
-	for len(out) < pairs {
-		si := rng.IntN(len(reps))
-		src := reps[si]
-		wdist = graph.DijkstraInto(n.Graph, src, weight, wdist, &scratch)
-		hopBuf = graph.BFS(n.Graph, src, hopBuf)
-		for f := 0; f < fanout && len(out) < pairs; f++ {
-			ti := rng.IntN(len(reps))
-			if ti == si {
-				continue
+	maxAttempts := 40*pairs + 64 // same safety margin as power.MeasureStretch callers
+	out := make([]StretchSample, 0, pairs)
+	m := power.NewMeasurer(n.Graph, nil, n.Pts, power.BatchSpec{Hops: true})
+	var batch []power.Pair
+	var batchIdx [][2]int32 // (source, target) rep indices per batched pair
+	for attempts := 0; attempts < maxAttempts && len(out) < pairs; {
+		batch, batchIdx = batch[:0], batchIdx[:0]
+		for len(batch) < pairs-len(out) && attempts < maxAttempts {
+			si := rng.IntN(len(reps))
+			for f := 0; f < fanout && len(batch) < pairs-len(out) && attempts < maxAttempts; f++ {
+				attempts++
+				ti := rng.IntN(len(reps))
+				if ti == si {
+					continue
+				}
+				batch = append(batch, power.Pair{U: reps[si], V: reps[ti]})
+				batchIdx = append(batchIdx, [2]int32{int32(si), int32(ti)})
 			}
-			dst := reps[ti]
-			if hopBuf[dst] < 0 {
+		}
+		for i, s := range m.Pairs(batch) {
+			if len(out) >= pairs {
+				break
+			}
+			if s.Hops < 0 || math.IsInf(s.SubLen, 1) {
 				continue // different component (possible only pre-prune)
 			}
-			sx, sy, _ := n.Map.Phi(coords[si])
-			tx, ty, _ := n.Map.Phi(coords[ti])
+			sx, sy, _ := n.Map.Phi(coords[batchIdx[i][0]])
+			tx, ty, _ := n.Map.Phi(coords[batchIdx[i][1]])
 			out = append(out, StretchSample{
-				Euclid:   n.Pts[src].Dist(n.Pts[dst]),
-				PathLen:  wdist[dst],
-				Hops:     int(hopBuf[dst]),
-				LatticeD: lattice.L1(sx, sy, tx, ty),
+				StretchSample: s,
+				LatticeD:      lattice.L1(sx, sy, tx, ty),
 			})
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/geom"
+	"repro/internal/graph"
 	"repro/internal/pointprocess"
 	"repro/internal/rgg"
 	"repro/internal/rng"
@@ -200,7 +201,7 @@ func TestSampleRepStretch(t *testing.T) {
 		t.Fatalf("got %d samples", len(samples))
 	}
 	for _, s := range samples {
-		if s.PathLen < s.Euclid-1e-9 {
+		if s.SubLen < s.Euclid-1e-9 {
 			t.Fatalf("path shorter than Euclidean distance: %+v", s)
 		}
 		if s.Stretch() < 1-1e-9 {
@@ -245,5 +246,50 @@ func TestDegreeHistogram(t *testing.T) {
 	}
 	if total != len(n.Members) {
 		t.Errorf("histogram total %d != members %d", total, len(n.Members))
+	}
+}
+
+// twoComponentNetwork hand-builds a Network whose good-tile representatives
+// sit in two disconnected components — the pre-prune configuration that made
+// the old SampleRepStretch spin forever on cross-component draws.
+func twoComponentNetwork(reps []int32) *Network {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1) // component A
+	b.AddEdge(2, 3) // component B
+	tiles := map[tiling.Coord]*TileNodes{}
+	for i, r := range reps {
+		tiles[tiling.Coord{I: i, J: 0}] = &TileNodes{Good: true, Rep: r}
+	}
+	return &Network{
+		Pts:   []geom.Point{geom.Pt(0.5, 0.5), geom.Pt(1.5, 0.5), geom.Pt(2.5, 0.5), geom.Pt(3.5, 0.5)},
+		Graph: b.Build(),
+		InNet: []bool{true, true, true, true},
+		Map:   tiling.Map{Tiling: tiling.Tiling{Side: 1}, W: 4, H: 1},
+		Tiles: tiles,
+	}
+}
+
+func TestSampleRepStretchTerminatesOnDisconnectedReps(t *testing.T) {
+	// Every rep pair crosses the component cut: sampling must hit its
+	// attempt cap and return what it collected (nothing) instead of looping.
+	n := twoComponentNetwork([]int32{0, 2})
+	if got := n.SampleRepStretch(10, rng.New(3)); len(got) != 0 {
+		t.Fatalf("cross-component sampling returned %d samples", len(got))
+	}
+
+	// With reps on both sides of the cut, only same-component pairs are
+	// accepted and every accepted sample is finite.
+	n = twoComponentNetwork([]int32{0, 1, 2, 3})
+	samples := n.SampleRepStretch(25, rng.New(4))
+	if len(samples) == 0 {
+		t.Fatal("no same-component samples collected")
+	}
+	if len(samples) > 25 {
+		t.Fatalf("collected %d samples, asked for 25", len(samples))
+	}
+	for _, s := range samples {
+		if math.IsInf(s.SubLen, 1) || s.Hops <= 0 {
+			t.Fatalf("accepted a cross-component sample: %+v", s)
+		}
 	}
 }

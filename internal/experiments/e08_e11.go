@@ -51,12 +51,16 @@ func E08Stretch(cfg Config) *Table {
 		t.AddRow("NN-SENS", "ERR: "+err.Error(), "", "", "", "")
 		return t
 	}
-	nnSamples := nn.SampleRepStretch(cfg.trials(300, 60), g2)
+	// Sampling gets its own substream (like the UDG branch's 801): reusing
+	// g2 here would correlate the sampled pairs with the Poisson deployment
+	// it just generated.
+	g3 := rng.Sub(cfg.Seed, 803)
+	nnSamples := nn.SampleRepStretch(cfg.trials(300, 60), g3)
 	// NN distances are in units of the tile scale; normalize buckets by
 	// tile side so the two networks share a table shape.
 	for i := range nnSamples {
 		nnSamples[i].Euclid /= spec.TileSide()
-		nnSamples[i].PathLen /= spec.TileSide()
+		nnSamples[i].SubLen /= spec.TileSide()
 	}
 	addStretchRows(t, "NN-SENS", nnSamples)
 	t.AddNote("mean stretch per bucket is flat in distance — the constant-stretch " +

@@ -67,6 +67,8 @@ func E12Routing(cfg Config) *Table {
 		if fit, err := stats.FitLinear(opts, probes); err == nil {
 			fitStr = f4(fit.Slope) + "·opt (R²=" + f4(fit.R2) + ")"
 		}
+		// When nothing was delivered the ratio samples are empty and the
+		// means render "n/a" (f4 maps NaN); the delivery count still shows.
 		t.AddRow("lattice", f4(p), d(total), d(delivered),
 			f4(stats.Mean(ratios)), fitStr)
 		t.AddRow("lattice (memoized)", f4(p), d(total), d(delivered),
@@ -98,6 +100,7 @@ func E12Routing(cfg Config) *Table {
 			}
 		}
 		t.AddRow("UDG-SENS", "16", d(total), d(delivered),
+			// "n/a" when no route delivered (or none crossed a lattice hop).
 			"node/lattice hops = "+f4(stats.Mean(expansion)), "≤ 3 by Claim 2.1")
 	}
 	t.AddNote("probes scale linearly with the optimal path (Angel et al. Theorem); " +

@@ -73,17 +73,26 @@ func (t *Table) AddNote(format string, args ...any) {
 	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
 }
 
-// String renders the table as aligned monospace text.
+// String renders the table as aligned monospace text. Width accounting
+// covers every cell — including rows wider than the header, which get their
+// own column widths instead of inheriting (and misaligning under) the last
+// header column — and a table with no columns renders without panicking.
 func (t *Table) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
-	widths := make([]int, len(t.Columns))
+	ncols := len(t.Columns)
+	for _, row := range t.Rows {
+		if len(row) > ncols {
+			ncols = len(row)
+		}
+	}
+	widths := make([]int, ncols)
 	for i, c := range t.Columns {
 		widths[i] = len(c)
 	}
 	for _, row := range t.Rows {
 		for i, cell := range row {
-			if i < len(widths) && len(cell) > widths[i] {
+			if len(cell) > widths[i] {
 				widths[i] = len(cell)
 			}
 		}
@@ -93,7 +102,7 @@ func (t *Table) String() string {
 			if i > 0 {
 				b.WriteString("  ")
 			}
-			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], cell)
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
 		}
 		b.WriteByte('\n')
 	}
@@ -113,11 +122,23 @@ func (t *Table) String() string {
 	return b.String()
 }
 
-// f4 formats a float at 4 significant digits.
-func f4(v float64) string { return fmt.Sprintf("%.4g", v) }
+// f4 formats a float at 4 significant digits. NaN — the mean of an empty
+// sample, a 0/0 ratio — renders as "n/a" so no experiment table can show a
+// bare NaN cell.
+func f4(v float64) string {
+	if math.IsNaN(v) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.4g", v)
+}
 
-// f2 formats a float at 2 decimal places.
-func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+// f2 formats a float at 2 decimal places (NaN as "n/a", like f4).
+func f2(v float64) string {
+	if math.IsNaN(v) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2f", v)
+}
 
 // d formats an int.
 func d(v int) string { return fmt.Sprintf("%d", v) }
@@ -163,5 +184,7 @@ func ByID(id string) *Runner {
 
 // parallelFor runs fn(i) for i in [0, n) on all cores and waits; it is the
 // shared primitive from internal/parallel, kept under its historical name
-// because every driver uses it.
-func parallelFor(n int, fn func(i int)) { parallel.For(n, fn) }
+// because every driver uses it. Grain 1: each experiment row/realization is
+// heavyweight, so every index gets its own shard instead of serializing
+// under the default bulk shard size.
+func parallelFor(n int, fn func(i int)) { parallel.ForGrain(n, 1, fn) }

@@ -1,8 +1,12 @@
 package experiments
 
 import (
+	"math"
+	"runtime"
 	"strings"
 	"testing"
+
+	"repro/internal/stats"
 )
 
 // smoke runs every experiment at a small scale and sanity-checks the table.
@@ -111,4 +115,69 @@ func TestParallelForCoversAll(t *testing.T) {
 		t.Error("small parallelFor wrong")
 	}
 	parallelFor(0, func(i int) { t.Error("fn called for n=0") })
+}
+
+func TestTableStringEdgeCases(t *testing.T) {
+	// A zero-column table must render, not index widths[-1].
+	empty := &Table{ID: "Z", Title: "no columns"}
+	if out := empty.String(); !strings.Contains(out, "Z — no columns") {
+		t.Errorf("zero-column render wrong:\n%s", out)
+	}
+	empty.AddRow()
+	_ = empty.String() // zero-width row on a zero-column table
+
+	// Rows wider than the header get their own aligned columns instead of
+	// silently sharing the last header width.
+	wide := &Table{ID: "W", Title: "wide", Columns: []string{"a"}}
+	wide.AddRow("x", "longcell", "z")
+	wide.AddRow("1", "2", "3")
+	out := wide.String()
+	if !strings.Contains(out, "longcell  z") {
+		t.Errorf("wide row misaligned:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "1") && line != "1  2         3" {
+			t.Errorf("overflow columns not padded: %q", line)
+		}
+	}
+}
+
+func TestFormattersNeverRenderNaN(t *testing.T) {
+	if got := f4(math.NaN()); got != "n/a" {
+		t.Errorf("f4(NaN) = %q", got)
+	}
+	if got := f2(math.NaN()); got != "n/a" {
+		t.Errorf("f2(NaN) = %q", got)
+	}
+	// The E12 failure shape: a mean over zero delivered routes.
+	if got := f4(stats.Mean(nil)); got != "n/a" {
+		t.Errorf("mean of empty sample renders %q", got)
+	}
+	if got := f4(1.25); got != "1.25" {
+		t.Errorf("f4(1.25) = %q", got)
+	}
+}
+
+// TestPowerTablesDeterministicAcrossGOMAXPROCS pins the acceptance contract
+// for the batched measurement engine: the E11 and E14 tables (whose hot
+// loops now fan out over cores) must be byte-identical at any worker count
+// for a fixed seed.
+func TestPowerTablesDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := Config{Seed: 7, Scale: 0.15}
+	for _, id := range []string{"E11", "E14"} {
+		// 8 workers for the parallel leg even on a 1-CPU box (workers =
+		// min(GOMAXPROCS, shards); the default there would also be serial).
+		prev := runtime.GOMAXPROCS(8)
+		parallelOut := ByID(id).Run(cfg).String()
+		runtime.GOMAXPROCS(1)
+		serialOut := ByID(id).Run(cfg).String()
+		runtime.GOMAXPROCS(prev)
+		if parallelOut != serialOut {
+			t.Errorf("%s differs between GOMAXPROCS 1 and default:\n%s\n---\n%s",
+				id, serialOut, parallelOut)
+		}
+	}
 }

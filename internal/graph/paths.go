@@ -1,7 +1,6 @@
 package graph
 
 import (
-	"container/heap"
 	"math"
 
 	"repro/internal/geom"
@@ -10,6 +9,14 @@ import (
 // BFS computes hop distances from src; unreachable vertices get −1.
 // The dist slice is reused if non-nil and long enough.
 func BFS(g *CSR, src int32, dist []int32) []int32 {
+	return BFSInto(g, src, dist, nil)
+}
+
+// BFSInto is BFS with a reusable queue buffer held in scratch (which may be
+// nil). Batch engines that sweep hop distances from many sources over the
+// same graph (power.Measurer) reuse both dist and the queue across sources
+// instead of re-growing an O(N) queue per call.
+func BFSInto(g *CSR, src int32, dist []int32, scratch *PathScratch) []int32 {
 	if cap(dist) < g.N {
 		dist = make([]int32, g.N)
 	}
@@ -17,7 +24,10 @@ func BFS(g *CSR, src int32, dist []int32) []int32 {
 	for i := range dist {
 		dist[i] = -1
 	}
-	queue := make([]int32, 0, 64)
+	if scratch == nil {
+		scratch = &PathScratch{}
+	}
+	queue := scratch.queue[:0]
 	dist[src] = 0
 	queue = append(queue, src)
 	for head := 0; head < len(queue); head++ {
@@ -30,6 +40,7 @@ func BFS(g *CSR, src int32, dist []int32) []int32 {
 			}
 		}
 	}
+	scratch.queue = queue
 	return dist
 }
 
@@ -136,8 +147,8 @@ func DijkstraInto(g *CSR, src int32, weight func(u, v int32) float64, dist []flo
 	}
 	pq := &scratch.pq
 	pq.items = append(pq.items[:0], distItem{src, 0})
-	for pq.Len() > 0 {
-		it := heap.Pop(pq).(distItem)
+	for len(pq.items) > 0 {
+		it := pq.pop()
 		if it.d > dist[it.v] {
 			continue
 		}
@@ -145,7 +156,42 @@ func DijkstraInto(g *CSR, src int32, weight func(u, v int32) float64, dist []flo
 			nd := it.d + weight(it.v, w)
 			if nd < dist[w] {
 				dist[w] = nd
-				heap.Push(pq, distItem{w, nd})
+				pq.push(distItem{w, nd})
+			}
+		}
+	}
+	return dist
+}
+
+// DijkstraEdgesInto is DijkstraInto with precomputed per-edge weights
+// instead of a weight callback: w[i] is the weight of the directed edge
+// stored at Adj[i]. Batch measurement engines that sweep the same graph
+// from many sources (power.Measurer) fill w once and save a callback call
+// plus the distance/power evaluation per edge relaxation on every sweep.
+func DijkstraEdgesInto(g *CSR, src int32, w []float64, dist []float64, scratch *DijkstraScratch) []float64 {
+	if cap(dist) < g.N {
+		dist = make([]float64, g.N)
+	}
+	dist = dist[:g.N]
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	if scratch == nil {
+		scratch = &DijkstraScratch{}
+	}
+	pq := &scratch.pq
+	pq.items = append(pq.items[:0], distItem{src, 0})
+	for len(pq.items) > 0 {
+		it := pq.pop()
+		if it.d > dist[it.v] {
+			continue
+		}
+		for i := g.Start[it.v]; i < g.Start[it.v+1]; i++ {
+			nd := it.d + w[i]
+			if v := g.Adj[i]; nd < dist[v] {
+				dist[v] = nd
+				pq.push(distItem{v, nd})
 			}
 		}
 	}
@@ -153,7 +199,9 @@ func DijkstraInto(g *CSR, src int32, weight func(u, v int32) float64, dist []flo
 }
 
 // DijkstraTo computes the weighted distance from src to dst, stopping early
-// once dst is settled. Returns +Inf if unreachable.
+// once dst is settled. Returns +Inf if unreachable. Callers measuring many
+// pairs from the same source should batch through DijkstraInto instead (see
+// power.MeasurePairs); DijkstraTo is the simple reference form.
 func DijkstraTo(g *CSR, src, dst int32, weight func(u, v int32) float64) float64 {
 	dist := make([]float64, g.N)
 	for i := range dist {
@@ -161,8 +209,8 @@ func DijkstraTo(g *CSR, src, dst int32, weight func(u, v int32) float64) float64
 	}
 	dist[src] = 0
 	pq := &distHeap{items: []distItem{{src, 0}}}
-	for pq.Len() > 0 {
-		it := heap.Pop(pq).(distItem)
+	for len(pq.items) > 0 {
+		it := pq.pop()
 		if it.v == dst {
 			return it.d
 		}
@@ -173,7 +221,7 @@ func DijkstraTo(g *CSR, src, dst int32, weight func(u, v int32) float64) float64
 			nd := it.d + weight(it.v, w)
 			if nd < dist[w] {
 				dist[w] = nd
-				heap.Push(pq, distItem{w, nd})
+				pq.push(distItem{w, nd})
 			}
 		}
 	}
@@ -190,16 +238,43 @@ type distItem struct {
 	d float64
 }
 
+// distHeap is a binary min-heap on d with concrete push/pop: container/heap
+// would box every pushed item through interface{}, one allocation per edge
+// relaxation — the dominant allocation source of the Monte-Carlo
+// shortest-path loops before it was replaced.
 type distHeap struct{ items []distItem }
 
-func (h *distHeap) Len() int           { return len(h.items) }
-func (h *distHeap) Less(i, j int) bool { return h.items[i].d < h.items[j].d }
-func (h *distHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
-func (h *distHeap) Push(x interface{}) { h.items = append(h.items, x.(distItem)) }
-func (h *distHeap) Pop() interface{} {
-	old := h.items
-	n := len(old)
-	it := old[n-1]
-	h.items = old[:n-1]
-	return it
+func (h *distHeap) push(it distItem) {
+	h.items = append(h.items, it)
+	i := len(h.items) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.items[p].d <= h.items[i].d {
+			break
+		}
+		h.items[p], h.items[i] = h.items[i], h.items[p]
+		i = p
+	}
+}
+
+func (h *distHeap) pop() distItem {
+	top := h.items[0]
+	n := len(h.items) - 1
+	h.items[0] = h.items[n]
+	h.items = h.items[:n]
+	for i := 0; ; {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && h.items[r].d < h.items[c].d {
+			c = r
+		}
+		if h.items[i].d <= h.items[c].d {
+			break
+		}
+		h.items[i], h.items[c] = h.items[c], h.items[i]
+		i = c
+	}
+	return top
 }

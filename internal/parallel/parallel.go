@@ -17,14 +17,17 @@ import (
 	"sync/atomic"
 )
 
-// shardSize is the number of indices per Collect/For shard. Fixed (rather
-// than derived from the worker count) so shard boundaries are a pure
-// function of n; large enough to amortize per-shard scratch allocations and
-// scheduling overhead over ~10³ items.
+// shardSize is the default number of indices per Collect/For shard. Fixed
+// (rather than derived from the worker count) so shard boundaries are a
+// pure function of n; large enough to amortize per-shard scratch
+// allocations and scheduling overhead over ~10³ items. Loops whose
+// per-item work dwarfs that overhead — an experiment row, a full Dijkstra
+// sweep — would serialize whenever n ≤ shardSize, so the *Grain variants
+// let those callers choose a finer, still-pure-function-of-n granularity.
 const shardSize = 1024
 
 // Workers returns the number of workers For and Collect will use for n
-// items: min(GOMAXPROCS, number of shards).
+// items at the default grain: min(GOMAXPROCS, number of shards).
 func Workers(n int) int {
 	shards := (n + shardSize - 1) / shardSize
 	w := runtime.GOMAXPROCS(0)
@@ -42,7 +45,16 @@ func Workers(n int) int {
 // goroutines. Scheduling is dynamic (shard-grained work stealing), so fn
 // must not rely on any particular assignment of indices to goroutines.
 func For(n int, fn func(i int)) {
-	ForShard(n, func(lo, hi int) {
+	ForGrain(n, shardSize, fn)
+}
+
+// ForGrain is For with an explicit shard size: coarse-grained callers whose
+// per-item cost dwarfs scheduling overhead (experiment rows, shortest-path
+// sweeps) pass a small grain — typically 1 — so up to n items run
+// concurrently even when n is far below the default shard size. Boundaries
+// stay a pure function of (n, grain), preserving the determinism contract.
+func ForGrain(n, grain int, fn func(i int)) {
+	forShardGrain(n, grain, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			fn(i)
 		}
@@ -53,14 +65,24 @@ func For(n int, fn func(i int)) {
 // cores and waits. It is the loop-blocked form of For: callers that need
 // worker-local scratch allocate it once per shard instead of once per index.
 func ForShard(n int, fn func(lo, hi int)) {
+	forShardGrain(n, shardSize, fn)
+}
+
+func forShardGrain(n, sz int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	shards := (n + shardSize - 1) / shardSize
-	workers := Workers(n)
+	if sz < 1 {
+		sz = 1
+	}
+	shards := (n + sz - 1) / sz
+	workers := runtime.GOMAXPROCS(0)
+	if workers > shards {
+		workers = shards
+	}
 	if workers <= 1 {
 		for s := 0; s < shards; s++ {
-			fn(s*shardSize, min((s+1)*shardSize, n))
+			fn(s*sz, min((s+1)*sz, n))
 		}
 		return
 	}
@@ -75,7 +97,7 @@ func ForShard(n int, fn func(lo, hi int)) {
 				if s >= shards {
 					return
 				}
-				fn(s*shardSize, min((s+1)*shardSize, n))
+				fn(s*sz, min((s+1)*sz, n))
 			}
 		}()
 	}
@@ -90,16 +112,27 @@ func ForShard(n int, fn func(lo, hi int)) {
 // If fn's output for a shard depends only on the shard's index range, the
 // returned slice is identical regardless of GOMAXPROCS.
 func Collect[T any](n int, fn func(lo, hi int, out []T) []T) []T {
+	return CollectGrain(n, shardSize, fn)
+}
+
+// CollectGrain is Collect with an explicit shard size (see ForGrain):
+// coarse-grained producers pass a small grain so their items spread across
+// cores even for small n, at the cost of per-shard scratch amortization.
+func CollectGrain[T any](n, grain int, fn func(lo, hi int, out []T) []T) []T {
 	if n <= 0 {
 		return nil
 	}
-	shards := (n + shardSize - 1) / shardSize
+	sz := grain
+	if sz < 1 {
+		sz = 1
+	}
+	shards := (n + sz - 1) / sz
 	if shards == 1 {
 		return fn(0, n, nil)
 	}
 	bufs := make([][]T, shards)
-	ForShard(n, func(lo, hi int) {
-		bufs[lo/shardSize] = fn(lo, hi, nil)
+	forShardGrain(n, sz, func(lo, hi int) {
+		bufs[lo/sz] = fn(lo, hi, nil)
 	})
 	total := 0
 	for _, b := range bufs {

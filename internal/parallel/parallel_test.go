@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestForCoversAllIndices(t *testing.T) {
@@ -83,5 +84,51 @@ func TestWorkers(t *testing.T) {
 	}
 	if w := Workers(1 << 30); w != runtime.GOMAXPROCS(0) {
 		t.Errorf("Workers(big) = %d want GOMAXPROCS", w)
+	}
+}
+
+func TestGrainVariantsCoverAndSpread(t *testing.T) {
+	// ForGrain(grain 1) covers every index exactly once, like For.
+	for _, n := range []int{0, 1, 3, 100, shardSize + 5} {
+		hits := make([]int32, n)
+		ForGrain(n, 1, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d hit %d times", n, i, h)
+			}
+		}
+	}
+	// CollectGrain keeps the deterministic shard-order merge at any grain.
+	for _, grain := range []int{1, 7, shardSize} {
+		got := CollectGrain(100, grain, func(lo, hi int, out []int) []int {
+			for i := lo; i < hi; i++ {
+				out = append(out, i*i)
+			}
+			return out
+		})
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("grain=%d: item %d = %d", grain, i, v)
+			}
+		}
+	}
+	// The point of grain 1: a small coarse loop runs concurrently instead of
+	// serializing under the 1024-item default shard.
+	if runtime.GOMAXPROCS(0) > 1 {
+		var cur, peak atomic.Int32
+		ForGrain(64, 1, func(i int) {
+			c := cur.Add(1)
+			for {
+				p := peak.Load()
+				if c <= p || peak.CompareAndSwap(p, c) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+		})
+		if peak.Load() < 2 {
+			t.Errorf("ForGrain(64, 1) peak concurrency %d at GOMAXPROCS %d", peak.Load(), runtime.GOMAXPROCS(0))
+		}
 	}
 }

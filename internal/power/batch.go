@@ -1,0 +1,201 @@
+package power
+
+import (
+	"math"
+	"slices"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/parallel"
+)
+
+// Pair is one (source, target) measurement request for Measurer.Pairs.
+// U and V index the position slice; U == V pairs are legal but degenerate
+// (zero distances) — samplers filter them before batching.
+type Pair struct{ U, V int32 }
+
+// BatchSpec selects which quantities the engine computes per pair.
+type BatchSpec struct {
+	// Beta is the path-loss exponent for the power fields (PowerSub,
+	// PowerBase, PowerStretch). Power runs are skipped when Beta <= 0 and
+	// those fields stay zero.
+	Beta float64
+	// Hops additionally computes BFS hop counts in the subgraph
+	// (StretchSample.Hops; −1 for unreachable targets).
+	Hops bool
+}
+
+// Measurer is the batched stretch/power measurement engine. It precomputes
+// per-edge weight slabs — Euclidean lengths and, when Beta > 0, d^β powers,
+// aligned with each graph's CSR adjacency — once at construction, so every
+// subsequent shortest-path sweep is a pure array-indexed traversal with no
+// math.Pow or sqrt per edge relaxation. Samplers that measure in rounds
+// (MeasureStretch, core.SampleRepStretch) build one Measurer and reuse it
+// across rounds.
+type Measurer struct {
+	sub, base *graph.CSR
+	pos       []geom.Point
+	spec      BatchSpec
+	// Per-Adj edge weights: [graph][kind] with kind 0 = Euclidean,
+	// kind 1 = power (nil when Beta <= 0). base slots nil when base is nil.
+	wSubD, wSubP, wBaseD, wBaseP []float64
+}
+
+// NewMeasurer builds the engine for a subgraph, an optional base graph
+// (nil skips all base-side fields) and a measurement spec. base, when
+// non-nil, must have the same vertex count as sub. The weight slabs are
+// filled in parallel with deterministic content (a pure function of the
+// graphs and positions).
+func NewMeasurer(sub, base *graph.CSR, pos []geom.Point, spec BatchSpec) *Measurer {
+	m := &Measurer{sub: sub, base: base, pos: pos, spec: spec}
+	m.wSubD = edgeWeights(sub, pos, 0)
+	if spec.Beta > 0 {
+		m.wSubP = edgeWeights(sub, pos, spec.Beta)
+	}
+	if base != nil {
+		m.wBaseD = edgeWeights(base, pos, 0)
+		if spec.Beta > 0 {
+			m.wBaseP = edgeWeights(base, pos, spec.Beta)
+		}
+	}
+	return m
+}
+
+// edgeWeights fills the per-Adj weight slab for one graph: Euclidean edge
+// length for beta <= 0, d^beta otherwise.
+func edgeWeights(g *graph.CSR, pos []geom.Point, beta float64) []float64 {
+	w := make([]float64, len(g.Adj))
+	parallel.ForShard(g.N, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			for i := g.Start[u]; i < g.Start[u+1]; i++ {
+				d := pos[u].Dist(pos[g.Adj[i]])
+				if beta > 0 {
+					w[i] = math.Pow(d, beta)
+				} else {
+					w[i] = d
+				}
+			}
+		}
+	})
+	return w
+}
+
+// Pairs computes a StretchSample for every requested pair, in pair order,
+// by grouping the pairs by source vertex and running ONE buffered Dijkstra
+// per (source, weight slab) — instead of one point-to-point run per pair —
+// so a source sampled with k targets costs a single sweep for all k.
+// Sources fan out across cores via parallel.Collect with per-shard
+// DijkstraScratch and distance buffers, so the result is deterministic at
+// any GOMAXPROCS (the output depends only on the inputs, never on worker
+// count or scheduling).
+//
+// Unreachable targets yield +Inf lengths (and Hops −1); callers filter
+// them exactly as they would filter a +Inf DijkstraTo result.
+func (m *Measurer) Pairs(pairs []Pair) []StretchSample {
+	if len(pairs) == 0 {
+		return nil
+	}
+	// Group pair indices by source: sort (U, index) keys so each source's
+	// targets are contiguous, with original pair order preserved inside a
+	// group (the index low bits make the sort total and stable).
+	keys := make([]uint64, len(pairs))
+	for i, p := range pairs {
+		keys[i] = uint64(uint32(p.U))<<32 | uint64(uint32(i))
+	}
+	slices.Sort(keys)
+	// groupStart[k] is the offset in keys of the k-th distinct source.
+	groupStart := make([]int32, 0, len(pairs)+1)
+	for i := range keys {
+		if i == 0 || keys[i]>>32 != keys[i-1]>>32 {
+			groupStart = append(groupStart, int32(i))
+		}
+	}
+	groupStart = append(groupStart, int32(len(keys)))
+	nGroups := len(groupStart) - 1
+
+	type indexed struct {
+		idx int32
+		s   StretchSample
+	}
+	// Grain 1: every source group is a full Dijkstra sweep (or four), far
+	// heavier than the per-shard scratch it allocates, so each source gets
+	// its own shard and sources spread across all cores even for the small
+	// group counts the samplers produce.
+	results := parallel.CollectGrain(nGroups, 1, func(lo, hi int, out []indexed) []indexed {
+		var scratch graph.DijkstraScratch
+		var bfsScratch graph.PathScratch
+		var dSub, dBase, pSub, pBase []float64
+		var hop []int32
+		for k := lo; k < hi; k++ {
+			g0, g1 := groupStart[k], groupStart[k+1]
+			src := int32(keys[g0] >> 32)
+			dSub = graph.DijkstraEdgesInto(m.sub, src, m.wSubD, dSub, &scratch)
+			if m.base != nil {
+				dBase = graph.DijkstraEdgesInto(m.base, src, m.wBaseD, dBase, &scratch)
+			}
+			if m.wSubP != nil {
+				pSub = graph.DijkstraEdgesInto(m.sub, src, m.wSubP, pSub, &scratch)
+				if m.base != nil {
+					pBase = graph.DijkstraEdgesInto(m.base, src, m.wBaseP, pBase, &scratch)
+				}
+			}
+			if m.spec.Hops {
+				hop = graph.BFSInto(m.sub, src, hop, &bfsScratch)
+			}
+			for g := g0; g < g1; g++ {
+				idx := int32(uint32(keys[g]))
+				dst := pairs[idx].V
+				s := StretchSample{
+					U:      src,
+					V:      dst,
+					Euclid: m.pos[src].Dist(m.pos[dst]),
+					SubLen: dSub[dst],
+				}
+				if m.spec.Hops {
+					s.Hops = int(hop[dst])
+				}
+				if m.wSubP != nil {
+					s.PowerSub = pSub[dst]
+				}
+				if m.base != nil {
+					s.BaseLen = dBase[dst]
+					switch {
+					case math.IsInf(s.SubLen, 1) || math.IsInf(s.BaseLen, 1):
+						s.DistStretch = math.Inf(1)
+					case s.BaseLen > 0:
+						s.DistStretch = s.SubLen / s.BaseLen
+					default:
+						s.DistStretch = 1
+					}
+					if m.wSubP != nil {
+						s.PowerBase = pBase[dst]
+						if s.PowerBase > 0 && !math.IsInf(s.PowerBase, 1) &&
+							!math.IsInf(s.PowerSub, 1) {
+							s.PowerStretch = s.PowerSub / s.PowerBase
+						} else if math.IsInf(s.PowerSub, 1) || math.IsInf(s.PowerBase, 1) {
+							s.PowerStretch = math.Inf(1)
+						}
+					}
+				}
+				out = append(out, indexed{idx: idx, s: s})
+			}
+		}
+		return out
+	})
+
+	out := make([]StretchSample, len(pairs))
+	for _, r := range results {
+		out[r.idx] = r.s
+	}
+	return out
+}
+
+// MeasurePairs is the one-shot form of the engine: build a Measurer, run a
+// single batch. Callers measuring in rounds over the same graphs should
+// hold a Measurer instead to reuse the precomputed weight slabs.
+func MeasurePairs(sub, base *graph.CSR, pos []geom.Point, pairs []Pair, spec BatchSpec) []StretchSample {
+	if len(pairs) == 0 {
+		return nil
+	}
+	return NewMeasurer(sub, base, pos, spec).Pairs(pairs)
+}

@@ -40,7 +40,11 @@ func MinPathPower(g *graph.CSR, pos []geom.Point, u, v int32, beta float64) floa
 	return graph.DijkstraTo(g, u, v, graph.PowerWeight(pos, beta))
 }
 
-// StretchSample is one (u, v) power-ratio measurement.
+// StretchSample is one (u, v) stretch/power measurement — the single sample
+// shape shared by every stretch sampler in the repository (the E08 rep
+// sampler in core wraps it with lattice data). Fields beyond U, V, Euclid
+// and SubLen are populated only when the producing measurement asked for
+// them (see BatchSpec).
 type StretchSample struct {
 	U, V         int32
 	Euclid       float64 // straight-line distance d(u, v)
@@ -50,6 +54,7 @@ type StretchSample struct {
 	PowerBase    float64 // min path power in the base graph
 	DistStretch  float64 // SubLen / BaseLen
 	PowerStretch float64 // PowerSub / PowerBase
+	Hops         int     // BFS hop count in the subgraph (−1 unreachable)
 }
 
 // EuclidStretch returns SubLen / Euclid — the paper's P2 stretch δ for this
@@ -65,6 +70,15 @@ func (s StretchSample) EuclidStretch() float64 {
 // must be connected in both graphs for a sample to count) and returns the
 // power and distance stretch per pair. Pairs that are disconnected in
 // either graph are skipped; sampling stops after maxAttempts regardless.
+// beta <= 0 measures distance stretch only: the power fields of the
+// returned samples stay zero (see BatchSpec.Beta).
+//
+// Measurement is batched: pairs are drawn with a source fanout (several
+// random targets per random source, like the E08 rep sampler) and handed to
+// a Measurer in rounds — one buffered Dijkstra sweep per source and weight
+// covers all of that source's targets, instead of four point-to-point runs
+// per pair — and connected pairs are accepted in draw order. All randomness
+// is serial, so results are deterministic at any GOMAXPROCS.
 func MeasureStretch(sub, base *graph.CSR, pos []geom.Point, candidates []int32,
 	beta float64, pairs, maxAttempts int, rng *rand.Rand) ([]StretchSample, error) {
 	if sub.N != base.N {
@@ -73,40 +87,45 @@ func MeasureStretch(sub, base *graph.CSR, pos []geom.Point, candidates []int32,
 	if len(candidates) < 2 {
 		return nil, errors.New("power: need at least two candidate vertices")
 	}
+	fanout := 8
+	if pairs < fanout {
+		fanout = pairs
+	}
 	var out []StretchSample
-	dw := graph.EuclideanWeight(pos)
-	pw := graph.PowerWeight(pos, beta)
-	for attempt := 0; attempt < maxAttempts && len(out) < pairs; attempt++ {
-		u := candidates[rng.IntN(len(candidates))]
-		v := candidates[rng.IntN(len(candidates))]
-		if u == v {
-			continue
+	var batch []Pair
+	var m *Measurer
+	for attempts := 0; attempts < maxAttempts && len(out) < pairs; {
+		batch = batch[:0]
+		for len(batch) < pairs-len(out) && attempts < maxAttempts {
+			u := candidates[rng.IntN(len(candidates))]
+			for f := 0; f < fanout && len(batch) < pairs-len(out) && attempts < maxAttempts; f++ {
+				attempts++
+				v := candidates[rng.IntN(len(candidates))]
+				if u == v {
+					continue
+				}
+				batch = append(batch, Pair{U: u, V: v})
+			}
 		}
-		pSub := graph.DijkstraTo(sub, u, v, pw)
-		if math.IsInf(pSub, 1) {
-			continue
+		if m == nil {
+			m = NewMeasurer(sub, base, pos, BatchSpec{Beta: beta})
 		}
-		pBase := graph.DijkstraTo(base, u, v, pw)
-		if math.IsInf(pBase, 1) || pBase == 0 {
-			continue
+		for _, s := range m.Pairs(batch) {
+			if len(out) >= pairs {
+				break
+			}
+			// Reject pairs disconnected in either graph (or degenerate,
+			// zero-cost pairs); with beta <= 0 the power fields are unset, so
+			// the equivalent distance-side filter applies.
+			if beta > 0 {
+				if math.IsInf(s.PowerSub, 1) || math.IsInf(s.PowerBase, 1) || s.PowerBase == 0 {
+					continue
+				}
+			} else if math.IsInf(s.SubLen, 1) || math.IsInf(s.BaseLen, 1) || s.BaseLen == 0 {
+				continue
+			}
+			out = append(out, s)
 		}
-		dSub := graph.DijkstraTo(sub, u, v, dw)
-		dBase := graph.DijkstraTo(base, u, v, dw)
-		s := StretchSample{
-			U: u, V: v,
-			Euclid:       pos[u].Dist(pos[v]),
-			SubLen:       dSub,
-			BaseLen:      dBase,
-			PowerSub:     pSub,
-			PowerBase:    pBase,
-			PowerStretch: pSub / pBase,
-		}
-		if dBase > 0 {
-			s.DistStretch = dSub / dBase
-		} else {
-			s.DistStretch = 1
-		}
-		out = append(out, s)
 	}
 	if len(out) == 0 {
 		return nil, errors.New("power: no connected pairs sampled")

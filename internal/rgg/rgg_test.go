@@ -272,10 +272,13 @@ func TestBuildersDeterministicAcrossGOMAXPROCS(t *testing.T) {
 	if len(pts) < 2000 {
 		t.Fatalf("deployment too small (%d) to exercise multiple shards", len(pts))
 	}
+	// Pin 8 workers for the parallel leg: on a 1-CPU box the default would
+	// also be 1 worker and the test would compare two serial runs.
+	prev := runtime.GOMAXPROCS(8)
 	parallelUDG := UDG(pts, 1).CSR
 	parallelNN := NN(pts, 6).CSR
 
-	prev := runtime.GOMAXPROCS(1)
+	runtime.GOMAXPROCS(1)
 	serialUDG1 := UDG(pts, 1).CSR
 	serialNN1 := NN(pts, 6).CSR
 	runtime.GOMAXPROCS(prev)

@@ -2,6 +2,7 @@ package topo
 
 import (
 	"runtime"
+	"sort"
 	"testing"
 
 	"repro/internal/geom"
@@ -212,10 +213,13 @@ func TestTopoDeterministicAcrossGOMAXPROCS(t *testing.T) {
 		"gabriel": func() *rgg.Geometric { return Gabriel(base) },
 		"rng":     func() *rgg.Geometric { return RelativeNeighborhood(base) },
 		"yao":     func() *rgg.Geometric { return Yao(base, 6) },
+		"emst":    func() *rgg.Geometric { return EMST(base) },
 	}
 	for name, f := range builds {
+		// 8 workers for the parallel leg even on a 1-CPU box (see rgg's test).
+		prev := runtime.GOMAXPROCS(8)
 		parallelG := f().CSR
-		prev := runtime.GOMAXPROCS(1)
+		runtime.GOMAXPROCS(1)
 		serialG := f().CSR
 		runtime.GOMAXPROCS(prev)
 		if parallelG.EdgeCount != serialG.EdgeCount {
@@ -231,5 +235,54 @@ func TestTopoDeterministicAcrossGOMAXPROCS(t *testing.T) {
 				t.Fatalf("%s: Adj[%d] differs", name, i)
 			}
 		}
+	}
+}
+
+// TestEMSTFilterPathMatchesReference pushes EMST over the filter cutoff
+// (light/heavy split + heavy-edge filtering + radix sort) and checks the
+// forest against a plain sort-everything Kruskal reference.
+func TestEMSTFilterPathMatchesReference(t *testing.T) {
+	pts := pointprocess.Poisson(geom.Box(10, 10), 20, rng.New(17))
+	base := rgg.UDG(pts, 1)
+	if base.EdgeCount <= 4096 {
+		t.Fatalf("fixture too small to exercise the filter path: %d edges", base.EdgeCount)
+	}
+	mst := EMST(base)
+
+	type edge struct {
+		u, v int32
+		d2   float64
+	}
+	var edges []edge
+	for u := int32(0); int(u) < base.N; u++ {
+		for _, v := range base.Neighbors(u) {
+			if v > u {
+				edges = append(edges, edge{u, v, pts[u].Dist2(pts[v])})
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].d2 < edges[j].d2 })
+	uf := graph.NewUnionFind(base.N)
+	refCount := 0
+	var refWeight float64
+	for _, e := range edges {
+		if uf.Union(e.u, e.v) {
+			refCount++
+			refWeight += pts[e.u].Dist(pts[e.v])
+		}
+	}
+	if mst.EdgeCount != refCount {
+		t.Fatalf("EMST edges = %d, reference Kruskal = %d", mst.EdgeCount, refCount)
+	}
+	var gotWeight float64
+	for u := int32(0); int(u) < mst.N; u++ {
+		for _, v := range mst.Neighbors(u) {
+			if v > u {
+				gotWeight += pts[u].Dist(pts[v])
+			}
+		}
+	}
+	if d := gotWeight - refWeight; d > 1e-7 || d < -1e-7 {
+		t.Fatalf("EMST weight %v vs reference %v", gotWeight, refWeight)
 	}
 }

@@ -1,18 +1,37 @@
 #!/bin/sh
-# bench.sh [output.json] — run the full benchmark suite once per benchmark
-# (-benchtime=1x -benchmem) and write the results as JSON so successive PRs
-# have a machine-readable perf trajectory to compare against.
+# bench.sh [output.json]      — run the full benchmark suite once per
+#                               benchmark (-benchtime=1x -benchmem) and write
+#                               the results as JSON so successive PRs have a
+#                               machine-readable perf trajectory.
+# bench.sh --compare [base]   — run a fresh suite and print a per-benchmark
+#                               diff (time and allocs ratios) against the
+#                               checked-in baseline JSON (default
+#                               BENCH_baseline.json). Ratios > 1 are
+#                               regressions.
 set -eu
 
-out="${1:-BENCH_baseline.json}"
 cd "$(dirname "$0")/.."
 
-raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+# One trap covers every temp file (run_suite's raw output and --compare's
+# fresh JSON), so abnormal exits anywhere leak nothing.
+raw=""
+fresh=""
+trap 'rm -f "$raw" "$fresh"' EXIT
 
-go test -bench=. -benchtime=1x -benchmem -run='^$' ./... | tee "$raw"
+# run_suite OUTPUT_JSON — run the benchmarks and serialize them.
+run_suite() {
+    raw="$(mktemp)"
 
-awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gover="$(go version | awk '{print $3}')" '
+    # No pipe to tee here: a pipeline would report tee's exit status and a
+    # failed bench run would silently serialize a truncated baseline.
+    if ! go test -bench=. -benchtime=1x -benchmem -run='^$' ./... > "$raw" 2>&1; then
+        cat "$raw"
+        echo "bench.sh: benchmark suite failed; not writing $1" >&2
+        exit 1
+    fi
+    cat "$raw"
+
+    awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gover="$(go version | awk '{print $3}')" '
 BEGIN { n = 0 }
 /^cpu:/ { sub(/^cpu: /, ""); cpu = $0 }
 /^Benchmark/ {
@@ -36,6 +55,52 @@ END {
     printf "{\n  \"generated\": \"%s\",\n  \"go\": \"%s\",\n  \"cpu\": \"%s\",\n  \"benchmarks\": [\n", date, gover, cpu
     for (i = 0; i < n; i++) printf "%s%s\n", rows[i], (i < n-1 ? "," : "")
     printf "  ]\n}\n"
-}' "$raw" > "$out"
+}' "$raw" > "$1"
+}
 
+if [ "${1:-}" = "--compare" ]; then
+    baseline="${2:-BENCH_baseline.json}"
+    if [ ! -f "$baseline" ]; then
+        echo "bench.sh: baseline $baseline not found (run 'make baseline' first)" >&2
+        exit 1
+    fi
+    fresh="$(mktemp)"
+    run_suite "$fresh"
+    echo
+    echo "comparison vs $baseline (ratio = fresh / baseline; > 1.00 is a regression)"
+    # The JSON is one benchmark per line; extract name/ns/allocs with awk.
+    awk -v FS='[ ,:{}"]+' '
+function parse(line) {
+    name = ""; ns = ""; allocs = 0
+    for (i = 1; i < NF; i++) {
+        if ($i == "name")          name = $(i+1)
+        if ($i == "ns_per_op")     ns = $(i+1) + 0
+        if ($i == "allocs_per_op") allocs = $(i+1) + 0
+    }
+}
+FNR == NR && /"name"/ { parse($0); base_ns[name] = ns; base_al[name] = allocs; next }
+/"name"/ {
+    parse($0)
+    if (name == "" || ns == "") next
+    seen[name] = 1
+    if (!(name in base_ns)) {
+        printf "%-32s NEW   %12.0f ns/op  %9d allocs/op\n", name, ns, allocs
+        next
+    }
+    tr = (base_ns[name] > 0) ? ns / base_ns[name] : 1
+    ar = (base_al[name] > 0) ? allocs / base_al[name] : 1
+    printf "%-32s time %12.0f -> %12.0f ns/op (x%5.2f)  allocs %9d -> %9d (x%5.2f)\n",
+        name, base_ns[name], ns, tr, base_al[name], allocs, ar
+}
+END {
+    # A benchmark that silently disappears would otherwise drop out of the
+    # gate unnoticed (e.g. after a rename).
+    for (n in base_ns) if (!(n in seen))
+        printf "%-32s MISSING from fresh run (baseline %.0f ns/op)\n", n, base_ns[n]
+}' "$baseline" "$fresh"
+    exit 0
+fi
+
+out="${1:-BENCH_baseline.json}"
+run_suite "$out"
 echo "wrote $out"
