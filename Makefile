@@ -1,12 +1,22 @@
 GO ?= go
 
-.PHONY: verify test bench baseline bench-compare
+.PHONY: verify test bench baseline bench-compare ci scenarios
 
 # verify is the tier-1 gate: build + vet + full test suite.
 verify:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test ./...
+
+# ci is the full pre-merge pipeline: the tier-1 gate plus a benchmark run
+# diffed against the checked-in baseline, flagging >10% time regressions.
+# Set BENCH_STRICT=1 to turn flags into a non-zero exit.
+ci: verify bench-compare
+
+# scenarios emits per-scenario wall times (JSON) from a reduced-scale
+# engine run — the experiment-level perf trajectory.
+scenarios:
+	scripts/bench.sh --scenarios
 
 test:
 	$(GO) test ./...

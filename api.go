@@ -1,6 +1,7 @@
 package sensnet
 
 import (
+	"io"
 	"math/rand/v2"
 
 	"repro/internal/core"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/rgg"
 	"repro/internal/rng"
 	"repro/internal/routing"
+	"repro/internal/scenario"
 	"repro/internal/tiling"
 	"repro/internal/topo"
 )
@@ -181,7 +183,8 @@ type ExperimentTable = experiments.Table
 type ExperimentConfig = experiments.Config
 
 // RunExperiment runs the experiment with the given ID ("E01".."E18");
-// returns nil for unknown IDs.
+// returns nil for unknown IDs. The run executes against fresh caches; to
+// share structures across several experiments use NewScenarioEngine.
 func RunExperiment(id string, cfg ExperimentConfig) *ExperimentTable {
 	r := experiments.ByID(id)
 	if r == nil {
@@ -198,3 +201,45 @@ func ExperimentIDs() []string {
 	}
 	return out
 }
+
+// Scenario registry and engine surface: every experiment is a registered
+// scenario (name, tags, parameter grid, required structures) executed
+// through a keyed build cache that shares deployments, base graphs, SENS
+// structures, baselines and measurement weight slabs across scenarios.
+type (
+	// Scenario is a registered experiment with discovery metadata.
+	Scenario = scenario.Scenario
+	// ScenarioParam is one axis of a scenario's declarative parameter grid.
+	ScenarioParam = scenario.Param
+	// ScenarioEngine executes scenarios through shared caches into a sink.
+	ScenarioEngine = scenario.Engine
+	// ResultSink consumes the typed row stream of an engine run.
+	ResultSink = scenario.Sink
+)
+
+// Scenarios lists every registered scenario in registration order.
+func Scenarios() []Scenario { return scenario.All() }
+
+// ScenarioTags lists all registered scenario tags, sorted.
+func ScenarioTags() []string { return scenario.Tags() }
+
+// MatchScenarios selects scenarios by ID, name, glob ("E0?", "ablation-*")
+// or tag ("tag:power"), in registration order; a pattern that selects
+// nothing is an error.
+func MatchScenarios(patterns ...string) ([]Scenario, error) {
+	return scenario.Match(patterns)
+}
+
+// NewScenarioEngine returns an engine with fresh shared caches writing to
+// sink (which may be nil to collect tables only). Set Jobs to run several
+// scenarios concurrently — emission order and bytes stay identical.
+func NewScenarioEngine(sink ResultSink) *ScenarioEngine { return scenario.NewEngine(sink) }
+
+// NewTextSink renders tables as aligned monospace text.
+func NewTextSink(w io.Writer) ResultSink { return scenario.NewTextSink(w) }
+
+// NewCSVSink streams rows as CSV records prefixed with the scenario ID.
+func NewCSVSink(w io.Writer) ResultSink { return scenario.NewCSVSink(w) }
+
+// NewJSONLSink streams one JSON event per table/row/note.
+func NewJSONLSink(w io.Writer) ResultSink { return scenario.NewJSONLSink(w) }

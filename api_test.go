@@ -140,3 +140,46 @@ func TestPublicDeployGradient(t *testing.T) {
 		t.Errorf("gradient not realized: %d vs %d", left, right)
 	}
 }
+
+func TestPublicScenarioSurface(t *testing.T) {
+	scs := sensnet.Scenarios()
+	if len(scs) != 18 {
+		t.Fatalf("want 18 registered scenarios, got %d", len(scs))
+	}
+	if len(sensnet.ScenarioTags()) == 0 {
+		t.Error("no scenario tags registered")
+	}
+	sel, err := sensnet.MatchScenarios("tag:election")
+	if err != nil || len(sel) == 0 {
+		t.Fatalf("MatchScenarios(tag:election) = %d, %v", len(sel), err)
+	}
+
+	var buf strings.Builder
+	eng := sensnet.NewScenarioEngine(sensnet.NewTextSink(&buf))
+	eng.Jobs = 2
+	byName, err := sensnet.MatchScenarios("base-models", "E13")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, err := eng.Run(sensnet.ExperimentConfig{Seed: 3, Scale: 0.12}, byName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 || tables[0].ID != "E01" || tables[1].ID != "E13" {
+		t.Fatalf("engine returned wrong tables: %v", tables)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "E01 —") || !strings.Contains(out, "E13 —") ||
+		strings.Index(out, "E01") > strings.Index(out, "E13") {
+		t.Errorf("sink output wrong:\n%s", out)
+	}
+
+	var csv strings.Builder
+	if _, err := sensnet.NewScenarioEngine(sensnet.NewCSVSink(&csv)).
+		Run(sensnet.ExperimentConfig{Seed: 3, Scale: 0.12}, byName[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "scenario,model,") {
+		t.Errorf("csv sink output wrong:\n%s", csv.String())
+	}
+}

@@ -38,6 +38,38 @@
 // experiment driver (internal/experiments, surfaced via RunExperiment and
 // cmd/experiments).
 //
+// # Scenario engine
+//
+// The experiment layer is declarative: each paper artifact E01–E18 is a
+// scenario registered in internal/scenario with a stable ID, a
+// human-friendly name, tags, a parameter grid and the shared structures it
+// needs. Scenarios are discovered and selected by ID, name, glob or tag
+// (Scenarios, MatchScenarios, cmd/experiments -list / -run), and executed
+// through a ScenarioEngine whose keyed build cache shares every expensive
+// structure across the run: deployments, UDG/NN base graphs, SENS
+// constructions, topology-control baselines and power.Measurer edge-weight
+// slabs are each built at most once per (seed, parameters) — E13's two
+// election protocols share one deployment, E14's seven structures share one
+// deployment, base graph and weight slabs.
+//
+// Results flow as a typed row stream into pluggable sinks — aligned text
+// tables (the historical format), CSV records, or JSONL events — and the
+// engine emits tables in registration order even when scenarios execute
+// concurrently (Engine.Jobs), so output is byte-identical at any
+// concurrency level and any GOMAXPROCS for a fixed seed; a golden test
+// pins every table against the pre-engine output.
+//
+//	sink := sensnet.NewJSONLSink(os.Stdout)
+//	eng := sensnet.NewScenarioEngine(sink)
+//	eng.Jobs = 4
+//	scs, _ := sensnet.MatchScenarios("tag:power", "E0?")
+//	eng.Run(sensnet.ExperimentConfig{Seed: 2026, Scale: 1}, scs)
+//
+// New workloads (churn models, QoS sweeps, alternative constructions)
+// register the same way the built-in artifacts do — see the ROADMAP's
+// "adding a scenario" note — and inherit caching, selection, concurrency
+// and every output format for free.
+//
 // # Construction pipeline architecture
 //
 // The graph substrate is built for Monte-Carlo scale (hundreds of
@@ -68,8 +100,10 @@
 // Dijkstra sweep per (source, weight, graph) — covering every target of
 // that source — with sources fanned out across cores via
 // parallel.CollectGrain (grain 1: one heavyweight sweep per shard).
-// Sampling randomness stays serial, so experiment tables are byte-identical
-// at any GOMAXPROCS for a fixed seed.
+// A power.SlabCache memoizes the weight slabs per (graph, β), so measurers
+// sharing a graph fill each slab once. Sampling randomness stays serial,
+// so experiment tables are byte-identical at any GOMAXPROCS for a fixed
+// seed.
 //
 // `make verify` is the tier-1 gate; `make baseline` / scripts/bench.sh
 // regenerate BENCH_baseline.json, the checked-in performance trajectory,

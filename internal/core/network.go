@@ -199,8 +199,11 @@ func (n *Network) finalize(b *graph.Builder) {
 
 // electRegion runs a leader election over the given candidate point indices
 // and accumulates its cost into the stats; returns −1 for no candidates.
-func electRegion(alg election.Algorithm, ids []int32, st *Stats) int32 {
-	res := election.Elect(alg, ids)
+// The scratch buffer is reused across the construction's per-region
+// elections (one per occupied region per tile), so the hot tournament path
+// allocates nothing.
+func electRegion(alg election.Algorithm, ids []int32, st *Stats, esc *election.Scratch) int32 {
+	res := esc.Elect(alg, ids)
 	st.ElectionMessages += res.Messages
 	if res.Rounds > st.ElectionRounds {
 		st.ElectionRounds = res.Rounds

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/election"
 	"repro/internal/geom"
 	"repro/internal/graph"
 	"repro/internal/rgg"
@@ -53,6 +54,7 @@ func BuildNN(pts []geom.Point, box geom.Rect, spec tiling.NNSpec, opt Options) (
 	// Region elections. Index layout: 0 = C0, 1..4 = disks, 5..8 = bridges.
 	var regionIDs [9][]int32
 	var local []geom.Point
+	var esc election.Scratch
 	for c, idx := range groups {
 		local = tiling.LocalPoints(n.Map, c, pts, idx, local)
 		for r := range regionIDs {
@@ -71,11 +73,11 @@ func BuildNN(pts []geom.Point, box geom.Rect, spec tiling.NNSpec, opt Options) (
 			}
 		}
 		tn := &TileNodes{Population: len(idx), Rep: -1}
-		tn.Rep = electRegion(opt.Election, regionIDs[0], &n.Stats)
+		tn.Rep = electRegion(opt.Election, regionIDs[0], &n.Stats, &esc)
 		good := tn.Rep >= 0
 		for d := 0; d < 4; d++ {
-			tn.Disk[d] = electRegion(opt.Election, regionIDs[1+d], &n.Stats)
-			tn.Bridge[d] = electRegion(opt.Election, regionIDs[5+d], &n.Stats)
+			tn.Disk[d] = electRegion(opt.Election, regionIDs[1+d], &n.Stats, &esc)
+			tn.Bridge[d] = electRegion(opt.Election, regionIDs[5+d], &n.Stats, &esc)
 			good = good && tn.Disk[d] >= 0 && tn.Bridge[d] >= 0
 		}
 		tn.Good = good && len(idx) <= spec.K/2

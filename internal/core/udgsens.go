@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/election"
 	"repro/internal/geom"
 	"repro/internal/graph"
 	"repro/internal/rgg"
@@ -52,6 +53,7 @@ func BuildUDG(pts []geom.Point, box geom.Rect, spec tiling.UDGSpec, opt Options)
 	// Step 2b–2c: per-region leader election.
 	var regionIDs [5][]int32 // C0, relay right/left/top/bottom
 	var local []geom.Point
+	var esc election.Scratch
 	for c, idx := range groups {
 		local = tiling.LocalPoints(n.Map, c, pts, idx, local)
 		for r := range regionIDs {
@@ -70,10 +72,10 @@ func BuildUDG(pts []geom.Point, box geom.Rect, spec tiling.UDGSpec, opt Options)
 		for d := range tn.Disk {
 			tn.Disk[d] = -1
 		}
-		tn.Rep = electRegion(opt.Election, regionIDs[0], &n.Stats)
+		tn.Rep = electRegion(opt.Election, regionIDs[0], &n.Stats, &esc)
 		good := tn.Rep >= 0
 		for d := 0; d < 4; d++ {
-			tn.Bridge[d] = electRegion(opt.Election, regionIDs[1+d], &n.Stats)
+			tn.Bridge[d] = electRegion(opt.Election, regionIDs[1+d], &n.Stats, &esc)
 			good = good && tn.Bridge[d] >= 0
 		}
 		tn.Good = good

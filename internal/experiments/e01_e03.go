@@ -8,24 +8,58 @@ import (
 	"repro/internal/pointprocess"
 	"repro/internal/rgg"
 	"repro/internal/rng"
+	"repro/internal/scenario"
 	"repro/internal/stats"
 )
 
-// E01BaseModels validates the three base stochastic models against their
+func registerE01E03() {
+	scenario.Register(scenario.Scenario{
+		ID: "E01", Name: "base-models",
+		Title: "Base model sanity: Poisson process, UDG and NN degree laws",
+		Tags:  []string{"model", "sanity"},
+		Grid: []scenario.Param{
+			grid("model", "Poisson(2)", "UDG(2,λ)", "NN(2,4)"),
+			grid("λ", "1.5", "2.0"),
+		},
+		Run: e01BaseModels,
+	})
+	scenario.Register(scenario.Scenario{
+		ID: "E02", Name: "site-pc",
+		Title: "Site percolation critical probability (paper §2: p_c ∈ (0.592, 0.593))",
+		Tags:  []string{"percolation", "lattice"},
+		Grid: []scenario.Param{
+			grid("box n", "16", "32", "64"),
+			grid("p", "0.55", "0.5927", "0.65"),
+		},
+		Run: e02SitePc,
+	})
+	scenario.Register(scenario.Scenario{
+		ID: "E03", Name: "chemical-distance",
+		Title: "Chemical distance concentration (Lemma 1.1, Antal–Pisztora)",
+		Tags:  []string{"percolation", "lattice"},
+		Grid: []scenario.Param{
+			grid("p", "0.65", "0.75", "0.85"),
+			grid("D bucket", "8", "16", "32", "64", "128"),
+		},
+		Run: e03ChemicalDistance,
+	})
+}
+
+// e01BaseModels validates the three base stochastic models against their
 // exact laws: Poisson counts, the UDG mean-degree law λπr², and the NN
-// degree bounds (every vertex has degree ≥ k; mean ≈ 1.3–2k).
-func E01BaseModels(cfg Config) *Table {
-	t := &Table{
-		ID:      "E01",
-		Title:   "Base model sanity",
-		Columns: []string{"model", "metric", "theory", "measured"},
-	}
+// degree bounds (every vertex has degree ≥ k; mean ≈ 1.3–2k). The RNG
+// substream is consumed sequentially across all three models, so nothing
+// here is cacheable (see the scenario.Cache correctness rule).
+func e01BaseModels(ctx *scenario.Ctx) *Table {
+	cfg := ctx.Cfg
+	t := scenario.NewTable("E01", "Base model sanity",
+		"model", "metric", "theory", "measured")
 	g := rng.Sub(cfg.Seed, 1)
 
 	// Poisson counts.
-	box := geom.Box(cfg.size(20, 8), cfg.size(20, 8))
+	box := geom.Box(cfg.Size(20, 8), cfg.Size(20, 8))
 	const lambda = 2.0
-	trials := cfg.trials(300, 40)
+	trials := cfg.Trials(300, 40)
 	var counts []float64
 	for i := 0; i < trials; i++ {
 		counts = append(counts, float64(len(pointprocess.Poisson(box, lambda, g))))
@@ -68,15 +102,13 @@ func E01BaseModels(cfg Config) *Table {
 	return t
 }
 
-// E02SitePc reproduces the site-percolation critical probability the paper
+// e02SitePc reproduces the site-percolation critical probability the paper
 // quotes from [13]: crossing probabilities across p for growing boxes, and
 // the bisection estimate of p_c.
-func E02SitePc(cfg Config) *Table {
-	t := &Table{
-		ID:      "E02",
-		Title:   "Site percolation p_c (reference 0.5927)",
-		Columns: []string{"box n", "p", "P(horizontal crossing)", "95% CI"},
-	}
+func e02SitePc(ctx *scenario.Ctx) *Table {
+	cfg := ctx.Cfg
+	t := scenario.NewTable("E02", "Site percolation p_c (reference 0.5927)",
+		"box n", "p", "P(horizontal crossing)", "95% CI")
 	type cell struct {
 		n      int
 		p      float64
@@ -90,7 +122,7 @@ func E02SitePc(cfg Config) *Table {
 			cells = append(cells, cell{n: n, p: p})
 		}
 	}
-	trials := cfg.trials(400, 60)
+	trials := cfg.Trials(400, 60)
 	parallelFor(len(cells), func(i int) {
 		g := rng.Sub(cfg.Seed, uint64(100+i))
 		cells[i].result = lattice.CrossingProbability(cells[i].n, cells[i].p, trials, g)
@@ -100,30 +132,28 @@ func E02SitePc(cfg Config) *Table {
 			"["+f4(c.result.Low95)+", "+f4(c.result.High95)+"]")
 	}
 	g := rng.Sub(cfg.Seed, 2)
-	pc := lattice.EstimatePc(48, cfg.trials(150, 40), 18, g)
+	pc := lattice.EstimatePc(48, cfg.Trials(150, 40), 18, g)
 	t.AddNote("bisection estimate on 48×48: p_c ≈ %s (reference %.6g); crossing "+
 		"probability sharpens around p_c as the box grows — the phase transition "+
 		"the tile coupling rides on", f4(pc), lattice.SitePcReference)
 	return t
 }
 
-// E03ChemicalDistance reproduces Lemma 1.1 (Antal–Pisztora): in the
+// e03ChemicalDistance reproduces Lemma 1.1 (Antal–Pisztora): in the
 // supercritical phase the chemical distance D_p(x, y) is at most a constant
 // ρ(p) times the lattice distance, with exponentially decaying tail.
-func E03ChemicalDistance(cfg Config) *Table {
-	t := &Table{
-		ID:      "E03",
-		Title:   "Chemical distance D_p/D concentration (Lemma 1.1)",
-		Columns: []string{"p", "D bucket", "pairs", "mean Dp/D", "p99 Dp/D", "max Dp/D"},
-	}
-	n := int(cfg.size(120, 48))
+func e03ChemicalDistance(ctx *scenario.Ctx) *Table {
+	cfg := ctx.Cfg
+	t := scenario.NewTable("E03", "Chemical distance D_p/D concentration (Lemma 1.1)",
+		"p", "D bucket", "pairs", "mean Dp/D", "p99 Dp/D", "max Dp/D")
+	n := int(cfg.Size(120, 48))
 	type job struct {
 		p      float64
 		ratios map[int][]float64 // bucket → ratios
 	}
 	ps := []float64{0.65, 0.75, 0.85}
 	jobs := make([]job, len(ps))
-	pairsPer := cfg.trials(400, 60)
+	pairsPer := cfg.Trials(400, 60)
 	parallelFor(len(ps), func(pi int) {
 		g := rng.Sub(cfg.Seed, uint64(200+pi))
 		jobs[pi] = job{p: ps[pi], ratios: map[int][]float64{}}

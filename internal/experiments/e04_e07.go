@@ -4,29 +4,67 @@ import (
 	"math"
 	"math/rand/v2"
 
-	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/graph"
 	"repro/internal/lattice"
 	"repro/internal/pointprocess"
 	"repro/internal/rgg"
 	"repro/internal/rng"
+	"repro/internal/scenario"
 	"repro/internal/stats"
 	"repro/internal/tiling"
 )
 
-// E04UDGClaim builds UDG-SENS in all three geometry modes and verifies the
+func registerE04E07() {
+	scenario.Register(scenario.Scenario{
+		ID: "E04", Name: "udg-claim",
+		Title: "UDG-SENS tile goodness and Claim 2.1 path bound",
+		Tags:  []string{"sens", "udg", "geometry"},
+		Grid: []scenario.Param{
+			grid("geometry", "literal", "repaired", "relaxed"),
+		},
+		Needs: []string{"deployment", "udg-base", "udg-sens"},
+		Run:   e04UDGClaim,
+	})
+	scenario.Register(scenario.Scenario{
+		ID: "E05", Name: "lambda-s",
+		Title: "Theorem 2.2: λs threshold for UDG-SENS vs direct λc estimate",
+		Tags:  []string{"threshold", "udg", "montecarlo"},
+		Grid: []scenario.Param{
+			grid("λ", "6", "8", "10", "11", "11.7", "12", "13", "14", "16"),
+		},
+		Run: e05LambdaS,
+	})
+	scenario.Register(scenario.Scenario{
+		ID: "E06", Name: "nn-claim",
+		Title: "NN-SENS tile goodness and Claim 2.3 path bound",
+		Tags:  []string{"sens", "nn", "geometry"},
+		Needs: []string{"deployment", "nn-base", "nn-sens"},
+		Run:   e06NNClaim,
+	})
+	scenario.Register(scenario.Scenario{
+		ID: "E07", Name: "ks-threshold",
+		Title: "Theorem 2.4: ks threshold for NN-SENS vs direct kc estimate",
+		Tags:  []string{"threshold", "nn", "montecarlo"},
+		Grid: []scenario.Param{
+			grid("k", "80", "120", "150", "170", "188", "210", "240"),
+			grid("a", "0.75", "0.80", "0.85", "0.893", "0.95", "1.0", "1.05"),
+		},
+		Run: e07KS,
+	})
+}
+
+// e04UDGClaim builds UDG-SENS in all three geometry modes and verifies the
 // Figure 4 / Claim 2.1 structure: literal tiles are never good (the paper's
 // defect), repaired tiles connect adjacent representatives in ≤ 3 unit hops,
 // and relaxed-mode handshakes fail at a measurable rate.
-func E04UDGClaim(cfg Config) *Table {
-	t := &Table{
-		ID:    "E04",
-		Title: "UDG-SENS goodness and Claim 2.1 (adjacent reps ≤ 3 hops of length ≤ 1)",
-		Columns: []string{"geometry", "λ", "good tiles", "adj good pairs",
-			"paths ok", "max hops", "max cu", "handshake fails"},
-	}
-	side := cfg.size(30, 12)
+func e04UDGClaim(ctx *scenario.Ctx) *Table {
+	cfg := ctx.Cfg
+	t := scenario.NewTable("E04",
+		"UDG-SENS goodness and Claim 2.1 (adjacent reps ≤ 3 hops of length ≤ 1)",
+		"geometry", "λ", "good tiles", "adj good pairs",
+		"paths ok", "max hops", "max cu", "handshake fails")
+	side := cfg.Size(30, 12)
 	box := geom.Box(side, side)
 
 	type modeRun struct {
@@ -40,9 +78,8 @@ func E04UDGClaim(cfg Config) *Table {
 		{"relaxed (Fig. 7 as-is)", tiling.RelaxedUDGSpec(), 4},
 	}
 	for i, r := range runs {
-		g := rng.Sub(cfg.Seed, uint64(300+i))
-		pts := pointprocess.Poisson(box, r.lambda, g)
-		n, err := core.BuildUDG(pts, box, r.spec, core.Options{})
+		dep := ctx.Deploy(uint64(300+i), box, r.lambda)
+		n, err := ctx.UDGNet(dep, r.spec, scenario.NetOptions{})
 		if err != nil {
 			t.AddRow(r.name, f2(r.lambda), "ERR: "+err.Error(), "", "", "", "", "")
 			continue
@@ -77,20 +114,19 @@ func E04UDGClaim(cfg Config) *Table {
 	return t
 }
 
-// E05LambdaS reproduces Theorem 2.2's threshold computation for the
+// e05LambdaS reproduces Theorem 2.2's threshold computation for the
 // feasible geometry and compares with a direct estimate of the true λc for
 // UDG(2, λ): good-tile probability versus λ (analytic + Monte Carlo), the
 // resulting λs, and a crossing-based λc estimate.
-func E05LambdaS(cfg Config) *Table {
-	t := &Table{
-		ID:      "E05",
-		Title:   "Theorem 2.2: λs for UDG-SENS (repaired geometry) vs direct λc",
-		Columns: []string{"λ", "P(good) analytic", "P(good) MC", "95% CI"},
-	}
+func e05LambdaS(ctx *scenario.Ctx) *Table {
+	cfg := ctx.Cfg
+	t := scenario.NewTable("E05",
+		"Theorem 2.2: λs for UDG-SENS (repaired geometry) vs direct λc",
+		"λ", "P(good) analytic", "P(good) MC", "95% CI")
 	spec := tiling.DefaultUDGSpec()
 	lambdas := []float64{6, 8, 10, 11, 11.7, 12, 13, 14, 16}
 	results := make([]stats.Proportion, len(lambdas))
-	trials := cfg.trials(3000, 300)
+	trials := cfg.Trials(3000, 300)
 	gm := spec.Compile()
 	parallelFor(len(lambdas), func(i int) {
 		g := rng.Sub(cfg.Seed, uint64(400+i))
@@ -107,8 +143,8 @@ func E05LambdaS(cfg Config) *Table {
 
 	// Direct λc estimate for UDG(2, λ): left-right crossing of the giant
 	// component on an L×L box.
-	L := cfg.size(28, 14)
-	crossTrials := cfg.trials(60, 12)
+	L := cfg.Size(28, 14)
+	crossTrials := cfg.Trials(60, 12)
 	cross := func(lam float64) float64 {
 		k := 0
 		results := make([]bool, crossTrials)
@@ -154,24 +190,21 @@ func udgCrosses(box geom.Rect, lambda float64, g *rand.Rand) bool {
 	return false
 }
 
-// E06NNClaim builds NN-SENS at the paper's parameters and verifies the
+// e06NNClaim builds NN-SENS at the paper's parameters and verifies the
 // Figure 6 / Claim 2.3 structure: every SENS edge exists in NN(2, k)
 // (validated during construction), adjacent representatives connect within
 // 5 hops, and the stretch constant ck is bounded.
-func E06NNClaim(cfg Config) *Table {
-	t := &Table{
-		ID:    "E06",
-		Title: "NN-SENS goodness and Claim 2.3 (paper k=188, a=0.893)",
-		Columns: []string{"tiles", "good", "good frac", "adj pairs", "paths ≤5 hops",
-			"max ck", "SENS edges in NN base"},
-	}
+func e06NNClaim(ctx *scenario.Ctx) *Table {
+	cfg := ctx.Cfg
+	t := scenario.NewTable("E06", "NN-SENS goodness and Claim 2.3 (paper k=188, a=0.893)",
+		"tiles", "good", "good frac", "adj pairs", "paths ≤5 hops",
+		"max ck", "SENS edges in NN base")
 	spec := tiling.PaperNNSpec()
-	tilesPerSide := int(cfg.size(6, 4))
+	tilesPerSide := int(cfg.Size(6, 4))
 	side := float64(tilesPerSide) * spec.TileSide()
 	box := geom.Box(side, side)
-	g := rng.Sub(cfg.Seed, 600)
-	pts := pointprocess.Poisson(box, 1.0, g)
-	n, err := core.BuildNN(pts, box, spec, core.Options{})
+	dep := ctx.Deploy(600, box, 1.0)
+	n, err := ctx.NNNet(dep, spec, scenario.NetOptions{})
 	if err != nil {
 		t.AddRow("ERR: " + err.Error())
 		return t
@@ -203,20 +236,19 @@ func E06NNClaim(cfg Config) *Table {
 	return t
 }
 
-// E07KS reproduces Theorem 2.4's threshold search: for each k, the tile
+// e07KS reproduces Theorem 2.4's threshold search: for each k, the tile
 // scale a is tuned to maximize the good-tile probability, and ks is the
 // smallest k whose optimum exceeds p_c. A direct kc estimate for NN(2, k)
 // is reported for contrast.
-func E07KS(cfg Config) *Table {
-	t := &Table{
-		ID:      "E07",
-		Title:   "Theorem 2.4: P(good) vs k with tuned a (λ=1); paper: ks=188, a=0.893",
-		Columns: []string{"k", "best a", "P(good) at best a", "95% CI", "exceeds p_c?"},
-	}
+func e07KS(ctx *scenario.Ctx) *Table {
+	cfg := ctx.Cfg
+	t := scenario.NewTable("E07",
+		"Theorem 2.4: P(good) vs k with tuned a (λ=1); paper: ks=188, a=0.893",
+		"k", "best a", "P(good) at best a", "95% CI", "exceeds p_c?")
 	ks := []int{80, 120, 150, 170, 188, 210, 240}
 	aGrid := []float64{0.75, 0.80, 0.85, 0.893, 0.95, 1.0, 1.05}
-	scanTrials := cfg.trials(250, 60)
-	refineTrials := cfg.trials(1500, 200)
+	scanTrials := cfg.Trials(250, 60)
+	refineTrials := cfg.Trials(1500, 200)
 
 	type kResult struct {
 		bestA float64
@@ -282,7 +314,7 @@ func E07KS(cfg Config) *Table {
 	paperGM := paperSpec.Compile()
 	gp := rng.Sub(cfg.Seed, 798)
 	paperP := tiling.MonteCarloGoodProbability(paperSpec.TileSide(), 1.0,
-		paperGM.TileGood, cfg.trials(4000, 400), gp)
+		paperGM.TileGood, cfg.Trials(4000, 400), gp)
 	verdict := "below"
 	if paperP.P > lattice.SitePcReference {
 		verdict = "above"
@@ -293,9 +325,9 @@ func E07KS(cfg Config) *Table {
 
 	// Direct kc estimate: smallest k whose NN graph spans a box.
 	g := rng.Sub(cfg.Seed, 799)
-	L := cfg.size(30, 15)
+	L := cfg.Size(30, 15)
 	box := geom.Box(L, L)
-	kTrials := cfg.trials(30, 8)
+	kTrials := cfg.Trials(30, 8)
 	for k := 1; k <= 5; k++ {
 		crossed := 0
 		for tr := 0; tr < kTrials; tr++ {

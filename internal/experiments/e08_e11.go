@@ -3,59 +3,100 @@ package experiments
 import (
 	"repro/internal/core"
 	"repro/internal/geom"
-	"repro/internal/pointprocess"
 	"repro/internal/power"
 	"repro/internal/rng"
+	"repro/internal/scenario"
 	"repro/internal/stats"
 	"repro/internal/tiling"
 )
 
-// buildUDGNet builds a supercritical UDG-SENS network for the property
-// experiments (λ = 16 > λs ≈ 11.7). withBase controls whether the UDG base
-// graph is materialized.
-func buildUDGNet(cfg Config, stream uint64, side float64, lambda float64, withBase bool) (*core.Network, error) {
-	g := rng.Sub(cfg.Seed, stream)
-	box := geom.Box(side, side)
-	pts := pointprocess.Poisson(box, lambda, g)
-	return core.BuildUDG(pts, box, tiling.DefaultUDGSpec(), core.Options{SkipBase: !withBase})
+func registerE08E11() {
+	scenario.Register(scenario.Scenario{
+		ID: "E08", Name: "stretch",
+		Title: "Theorem 3.2: constant distance stretch of the SENS networks",
+		Tags:  []string{"sens", "stretch", "udg", "nn"},
+		Grid: []scenario.Param{
+			grid("network", "UDG-SENS(λ=16)", "NN-SENS(k=188)"),
+			grid("distance bucket", "8", "16", "32", "64", "128"),
+		},
+		Needs: []string{"deployment", "udg-sens", "nn-sens"},
+		Run:   e08Stretch,
+	})
+	scenario.Register(scenario.Scenario{
+		ID: "E09", Name: "coverage",
+		Title: "Theorem 3.3: exponential coverage decay",
+		Tags:  []string{"sens", "coverage", "udg"},
+		Grid: []scenario.Param{
+			grid("λ", "13", "16", "20"),
+			grid("ℓ", "0.5", "1.0", "1.5", "2.0", "2.5", "3.0", "3.5"),
+		},
+		Needs: []string{"deployment", "udg-sens"},
+		Run:   e09Coverage,
+	})
+	scenario.Register(scenario.Scenario{
+		ID: "E10", Name: "sparsity",
+		Title: "Property P1: sparsity (degree distribution)",
+		Tags:  []string{"sens", "degree", "udg", "nn"},
+		Needs: []string{"deployment", "udg-base", "nn-base", "udg-sens", "nn-sens"},
+		Run:   e10Sparsity,
+	})
+	scenario.Register(scenario.Scenario{
+		ID: "E11", Name: "power-stretch",
+		Title: "Power stretch ≤ δ^β (Li–Wan–Wang)",
+		Tags:  []string{"sens", "power", "udg"},
+		Grid: []scenario.Param{
+			grid("β", "2", "3", "4", "5"),
+		},
+		Needs: []string{"deployment", "udg-base", "udg-sens", "measurer-slabs"},
+		Run:   e11Power,
+	})
 }
 
-// E08Stretch measures Theorem 3.2: the distance stretch of rep-to-rep paths
+// udgNet pulls a supercritical UDG-SENS network for the property
+// experiments (λ = 16 > λs ≈ 11.7) through the scenario cache: the
+// deployment, the base graph (when withBase) and the construction are all
+// memoized per (seed, stream, side, lambda).
+func udgNet(ctx *scenario.Ctx, stream uint64, side, lambda float64, withBase bool) (*core.Network, error) {
+	box := geom.Box(side, side)
+	dep := ctx.Deploy(stream, box, lambda)
+	return ctx.UDGNet(dep, tiling.DefaultUDGSpec(), scenario.NetOptions{SkipBase: !withBase})
+}
+
+// e08Stretch measures Theorem 3.2: the distance stretch of rep-to-rep paths
 // stays bounded by a constant independent of distance, and its upper tail
 // thins with distance.
-func E08Stretch(cfg Config) *Table {
-	t := &Table{
-		ID:      "E08",
-		Title:   "Theorem 3.2: distance stretch of SENS paths (UDG-SENS λ=16; NN-SENS k=188)",
-		Columns: []string{"network", "distance bucket", "pairs", "mean stretch", "p99", "max"},
-	}
+func e08Stretch(ctx *scenario.Ctx) *Table {
+	cfg := ctx.Cfg
+	t := scenario.NewTable("E08",
+		"Theorem 3.2: distance stretch of SENS paths (UDG-SENS λ=16; NN-SENS k=188)",
+		"network", "distance bucket", "pairs", "mean stretch", "p99", "max")
 	// UDG-SENS.
-	n, err := buildUDGNet(cfg, 800, cfg.size(48, 20), 16, false)
+	n, err := udgNet(ctx, 800, cfg.Size(48, 20), 16, false)
 	if err != nil {
 		t.AddRow("UDG-SENS", "ERR: "+err.Error(), "", "", "", "")
 		return t
 	}
 	g := rng.Sub(cfg.Seed, 801)
-	samples := n.SampleRepStretch(cfg.trials(800, 100), g)
+	samples := n.SampleRepStretch(cfg.Trials(800, 100), g)
 	addStretchRows(t, "UDG-SENS", samples)
 
 	// NN-SENS.
 	spec := tiling.PaperNNSpec()
-	tilesPerSide := int(cfg.size(7, 4))
+	tilesPerSide := int(cfg.Size(7, 4))
 	side := float64(tilesPerSide) * spec.TileSide()
 	box := geom.Box(side, side)
-	g2 := rng.Sub(cfg.Seed, 802)
-	pts := pointprocess.Poisson(box, 1.0, g2)
-	nn, err := core.BuildNN(pts, box, spec, core.Options{SkipBase: true})
+	dep := ctx.Deploy(802, box, 1.0)
+	nn, err := ctx.NNNet(dep, spec, scenario.NetOptions{SkipBase: true})
 	if err != nil {
 		t.AddRow("NN-SENS", "ERR: "+err.Error(), "", "", "", "")
 		return t
 	}
 	// Sampling gets its own substream (like the UDG branch's 801): reusing
-	// g2 here would correlate the sampled pairs with the Poisson deployment
-	// it just generated.
+	// the deployment stream here would correlate the sampled pairs with the
+	// Poisson deployment it just generated (and would break cacheability of
+	// the deployment).
 	g3 := rng.Sub(cfg.Seed, 803)
-	nnSamples := nn.SampleRepStretch(cfg.trials(300, 60), g3)
+	nnSamples := nn.SampleRepStretch(cfg.Trials(300, 60), g3)
 	// NN distances are in units of the tile scale; normalize buckets by
 	// tile side so the two networks share a table shape.
 	for i := range nnSamples {
@@ -87,18 +128,16 @@ func addStretchRows(t *Table, name string, samples []core.StretchSample) {
 	}
 }
 
-// E09Coverage measures Theorem 3.3: the probability that an ℓ×ℓ box misses
+// e09Coverage measures Theorem 3.3: the probability that an ℓ×ℓ box misses
 // the SENS network decays exponentially in ℓ, with a sharper rate at higher
 // density.
-func E09Coverage(cfg Config) *Table {
-	t := &Table{
-		ID:      "E09",
-		Title:   "Theorem 3.3: P(ℓ×ℓ box empty of UDG-SENS) vs ℓ",
-		Columns: []string{"λ", "ℓ", "P(empty)", "trials"},
-	}
+func e09Coverage(ctx *scenario.Ctx) *Table {
+	cfg := ctx.Cfg
+	t := scenario.NewTable("E09", "Theorem 3.3: P(ℓ×ℓ box empty of UDG-SENS) vs ℓ",
+		"λ", "ℓ", "P(empty)", "trials")
 	lambdas := []float64{13, 16, 20}
 	ells := []float64{0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5}
-	trials := cfg.trials(4000, 400)
+	trials := cfg.Trials(4000, 400)
 	const realizations = 3 // average over independent deployments
 	type run struct {
 		lambda float64
@@ -109,7 +148,7 @@ func E09Coverage(cfg Config) *Table {
 		runs[i] = run{lambda: lambdas[i], ps: make([]float64, len(ells))}
 		built := 0
 		for r := 0; r < realizations; r++ {
-			n, err := buildUDGNet(cfg, uint64(820+i*10+r), cfg.size(40, 20), lambdas[i], false)
+			n, err := udgNet(ctx, uint64(820+i*10+r), cfg.Size(40, 20), lambdas[i], false)
 			if err != nil {
 				continue
 			}
@@ -141,27 +180,25 @@ func E09Coverage(cfg Config) *Table {
 	return t
 }
 
-// E10Sparsity reports property P1: the degree distribution of both SENS
+// e10Sparsity reports property P1: the degree distribution of both SENS
 // networks (max degree 4) against their dense base graphs.
-func E10Sparsity(cfg Config) *Table {
-	t := &Table{
-		ID:      "E10",
-		Title:   "P1 sparsity: SENS degree distribution vs base graph",
-		Columns: []string{"network", "members", "active frac", "mean deg", "max deg", "base mean deg", "deg histogram 0..4"},
-	}
-	n, err := buildUDGNet(cfg, 840, cfg.size(30, 15), 16, true)
+func e10Sparsity(ctx *scenario.Ctx) *Table {
+	cfg := ctx.Cfg
+	t := scenario.NewTable("E10", "P1 sparsity: SENS degree distribution vs base graph",
+		"network", "members", "active frac", "mean deg", "max deg", "base mean deg",
+		"deg histogram 0..4")
+	n, err := udgNet(ctx, 840, cfg.Size(30, 15), 16, true)
 	if err == nil {
 		h := n.DegreeHistogram()
 		t.AddRow("UDG-SENS(λ=16)", d(len(n.Members)), f4(n.ActiveFraction()),
 			f4(memberMeanDegree(n)), d(n.MaxDegree()), f4(n.Base.MeanDegree()), histString(h))
 	}
 	spec := tiling.PaperNNSpec()
-	tilesPerSide := int(cfg.size(5, 3))
+	tilesPerSide := int(cfg.Size(5, 3))
 	side := float64(tilesPerSide) * spec.TileSide()
 	box := geom.Box(side, side)
-	g := rng.Sub(cfg.Seed, 841)
-	pts := pointprocess.Poisson(box, 1.0, g)
-	nn, err := core.BuildNN(pts, box, spec, core.Options{})
+	dep := ctx.Deploy(841, box, 1.0)
+	nn, err := ctx.NNNet(dep, spec, scenario.NetOptions{})
 	if err == nil {
 		h := nn.DegreeHistogram()
 		t.AddRow("NN-SENS(k=188)", d(len(nn.Members)), f4(nn.ActiveFraction()),
@@ -194,31 +231,32 @@ func histString(h []int) string {
 	return out
 }
 
-// E11Power verifies the paper's §1 power-efficiency claim in the form that
+// e11Power verifies the paper's §1 power-efficiency claim in the form that
 // is actually implied by Li–Wan–Wang for a node-subset network (see
 // power.LiWanWangBound): with δ the measured Euclidean stretch factor of
 // the sample (P2), every pair satisfies p_SENS(u, v) ≤ δ^β · d(u, v)^β.
 // The ratio against the dense base's optimal power is reported as the
 // empirical price of sparsity (it is not bounded by the per-pair
 // stretch^β — the base can exploit many short hops).
-func E11Power(cfg Config) *Table {
-	t := &Table{
-		ID:    "E11",
-		Title: "Power of UDG-SENS routes vs δ^β·d^β bound and vs UDG-base optimum",
-		Columns: []string{"β", "pairs", "max p/(d^β) (≤ δmax^β)", "δmax^β", "violations",
-			"mean p_SENS/p_base", "max"},
-	}
-	n, err := buildUDGNet(cfg, 850, cfg.size(26, 14), 16, true)
+func e11Power(ctx *scenario.Ctx) *Table {
+	cfg := ctx.Cfg
+	t := scenario.NewTable("E11",
+		"Power of UDG-SENS routes vs δ^β·d^β bound and vs UDG-base optimum",
+		"β", "pairs", "max p/(d^β) (≤ δmax^β)", "δmax^β", "violations",
+		"mean p_SENS/p_base", "max")
+	n, err := udgNet(ctx, 850, cfg.Size(26, 14), 16, true)
 	if err != nil {
 		t.AddRow("ERR: " + err.Error())
 		return t
 	}
 	reps, _ := n.GoodReps()
-	pairs := cfg.trials(60, 15)
+	pairs := cfg.Trials(60, 15)
 	for _, beta := range []float64{2, 3, 4, 5} {
 		g := rng.Sub(cfg.Seed, uint64(851+int(beta)))
-		samples, err := power.MeasureStretch(n.Graph, n.Base.CSR, n.Pts, reps,
-			beta, pairs, pairs*40, g)
+		// The slab cache shares the Euclidean weight slabs across the four β
+		// measurements (and with any other scenario measuring these graphs).
+		samples, err := power.MeasureStretchCached(n.Graph, n.Base.CSR, n.Pts, reps,
+			beta, pairs, pairs*40, g, ctx.Slabs)
 		if err != nil {
 			t.AddRow(f2(beta), "0", "ERR", "", "", "", "")
 			continue

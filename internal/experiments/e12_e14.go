@@ -1,32 +1,65 @@
 package experiments
 
 import (
-	"repro/internal/core"
 	"repro/internal/election"
 	"repro/internal/geom"
 	"repro/internal/graph"
 	"repro/internal/lattice"
-	"repro/internal/pointprocess"
 	"repro/internal/power"
 	"repro/internal/rgg"
 	"repro/internal/rng"
 	"repro/internal/routing"
+	"repro/internal/scenario"
 	"repro/internal/stats"
 	"repro/internal/tiling"
 	"repro/internal/topo"
 )
 
-// E12Routing reproduces §4.2 / Angel et al.: routing probes grow linearly
+func registerE12E14() {
+	scenario.Register(scenario.Scenario{
+		ID: "E12", Name: "routing",
+		Title: "§4.2 routing: probes vs optimal path (Angel et al.)",
+		Tags:  []string{"routing", "percolation", "sens"},
+		Grid: []scenario.Param{
+			grid("p", "0.65", "0.75", "0.85"),
+			grid("substrate", "lattice", "lattice (memoized)", "UDG-SENS"),
+		},
+		Needs: []string{"deployment", "udg-sens"},
+		Run:   e12Routing,
+	})
+	scenario.Register(scenario.Scenario{
+		ID: "E13", Name: "construction-cost",
+		Title: "§4.1 construction cost: election messages and rounds (P4)",
+		Tags:  []string{"sens", "election", "udg", "nn"},
+		Grid: []scenario.Param{
+			grid("protocol", "tournament", "broadcast"),
+		},
+		Needs: []string{"deployment", "udg-sens", "nn-sens"},
+		Run:   e13Construction,
+	})
+	scenario.Register(scenario.Scenario{
+		ID: "E14", Name: "baselines",
+		Title: "Baseline comparison: SENS vs Gabriel/RNG/Yao/EMST/k-NN",
+		Tags:  []string{"sens", "power", "baseline", "udg"},
+		Grid: []scenario.Param{
+			grid("structure", "UDG base", "UDG-SENS", "Gabriel", "RNG", "Yao(6)",
+				"EMST", "NN(6)"),
+		},
+		Needs: []string{"deployment", "udg-base", "udg-sens", "baselines", "measurer-slabs"},
+		Run:   e14Baselines,
+	})
+}
+
+// e12Routing reproduces §4.2 / Angel et al.: routing probes grow linearly
 // with the optimal path length on the percolated mesh, and routing over an
 // actual SENS network expands each lattice hop into a bounded relay
 // subpath.
-func E12Routing(cfg Config) *Table {
-	t := &Table{
-		ID:      "E12",
-		Title:   "Routing on the percolated mesh (Fig. 9) and over UDG-SENS (Fig. 8)",
-		Columns: []string{"substrate", "p/λ", "routes", "delivered", "mean probes/opt", "fit probes≈c·opt (R²)"},
-	}
-	n := int(cfg.size(80, 32))
+func e12Routing(ctx *scenario.Ctx) *Table {
+	cfg := ctx.Cfg
+	t := scenario.NewTable("E12",
+		"Routing on the percolated mesh (Fig. 9) and over UDG-SENS (Fig. 8)",
+		"substrate", "p/λ", "routes", "delivered", "mean probes/opt", "fit probes≈c·opt (R²)")
+	n := int(cfg.Size(80, 32))
 	for _, p := range []float64{0.65, 0.75, 0.85} {
 		g := rng.Sub(cfg.Seed, uint64(900+int(p*100)))
 		l := lattice.Sample(n, n, p, g)
@@ -36,7 +69,7 @@ func E12Routing(cfg Config) *Table {
 		}
 		var opts, probes, memoProbes []float64
 		delivered, total := 0, 0
-		routes := cfg.trials(200, 40)
+		routes := cfg.Trials(200, 40)
 		var scratch routing.Scratch
 		for tr := 0; tr < routes; tr++ {
 			a := giant[g.IntN(len(giant))]
@@ -76,13 +109,13 @@ func E12Routing(cfg Config) *Table {
 	}
 
 	// SENS-level routing.
-	net, err := buildUDGNet(cfg, 910, cfg.size(36, 18), 16, false)
+	net, err := udgNet(ctx, 910, cfg.Size(36, 18), 16, false)
 	if err == nil {
 		g := rng.Sub(cfg.Seed, 911)
 		_, coords := net.GoodReps()
 		delivered, total := 0, 0
 		var expansion []float64
-		routes := cfg.trials(120, 30)
+		routes := cfg.Trials(120, 30)
 		for tr := 0; tr < routes && len(coords) >= 2; tr++ {
 			a := coords[g.IntN(len(coords))]
 			b := coords[g.IntN(len(coords))]
@@ -108,52 +141,51 @@ func E12Routing(cfg Config) *Table {
 	return t
 }
 
-// E13Construction charges the §4.1 distributed construction: leader
+// e13Construction charges the §4.1 distributed construction: leader
 // election messages and rounds per tile and per node, for both protocols.
-func E13Construction(cfg Config) *Table {
-	t := &Table{
-		ID:      "E13",
-		Title:   "P4 construction cost: election messages/rounds (Fig. 7 pipeline)",
-		Columns: []string{"network", "protocol", "nodes", "tiles", "msgs", "msgs/node", "max rounds"},
-	}
-	side := cfg.size(30, 12)
+// The two protocol runs share one cached deployment per network family —
+// the first structure-sharing case the ROADMAP called out.
+func e13Construction(ctx *scenario.Ctx) *Table {
+	cfg := ctx.Cfg
+	t := scenario.NewTable("E13",
+		"P4 construction cost: election messages/rounds (Fig. 7 pipeline)",
+		"network", "protocol", "nodes", "tiles", "msgs", "msgs/node", "max rounds")
+	side := cfg.Size(30, 12)
 	box := geom.Box(side, side)
-	g := rng.Sub(cfg.Seed, 920)
-	pts := pointprocess.Poisson(box, 16, g)
+	dep := ctx.Deploy(920, box, 16)
 	for _, alg := range []struct {
 		name string
 		alg  election.Algorithm
 	}{{"tournament", election.AlgorithmTournament}, {"broadcast", election.AlgorithmBroadcast}} {
-		n, err := core.BuildUDG(pts, box, tiling.DefaultUDGSpec(), core.Options{
+		n, err := ctx.UDGNet(dep, tiling.DefaultUDGSpec(), scenario.NetOptions{
 			Election: alg.alg, SkipBase: true,
 		})
 		if err != nil {
 			continue
 		}
-		t.AddRow("UDG-SENS(λ=16)", alg.name, d(len(pts)), d(n.Stats.Tiles),
+		t.AddRow("UDG-SENS(λ=16)", alg.name, d(len(dep.Pts)), d(n.Stats.Tiles),
 			d(n.Stats.ElectionMessages),
-			f4(float64(n.Stats.ElectionMessages)/float64(len(pts))),
+			f4(float64(n.Stats.ElectionMessages)/float64(len(dep.Pts))),
 			d(n.Stats.ElectionRounds))
 	}
 	spec := tiling.PaperNNSpec()
-	tilesPerSide := int(cfg.size(5, 3))
+	tilesPerSide := int(cfg.Size(5, 3))
 	nnSide := float64(tilesPerSide) * spec.TileSide()
 	nnBox := geom.Box(nnSide, nnSide)
-	g2 := rng.Sub(cfg.Seed, 921)
-	nnPts := pointprocess.Poisson(nnBox, 1.0, g2)
+	nnDep := ctx.Deploy(921, nnBox, 1.0)
 	for _, alg := range []struct {
 		name string
 		alg  election.Algorithm
 	}{{"tournament", election.AlgorithmTournament}, {"broadcast", election.AlgorithmBroadcast}} {
-		n, err := core.BuildNN(nnPts, nnBox, spec, core.Options{
+		n, err := ctx.NNNet(nnDep, spec, scenario.NetOptions{
 			Election: alg.alg, SkipBase: true,
 		})
 		if err != nil {
 			continue
 		}
-		t.AddRow("NN-SENS(k=188)", alg.name, d(len(nnPts)), d(n.Stats.Tiles),
+		t.AddRow("NN-SENS(k=188)", alg.name, d(len(nnDep.Pts)), d(n.Stats.Tiles),
 			d(n.Stats.ElectionMessages),
-			f4(float64(n.Stats.ElectionMessages)/float64(len(nnPts))),
+			f4(float64(n.Stats.ElectionMessages)/float64(len(nnDep.Pts))),
 			d(n.Stats.ElectionRounds))
 	}
 	t.AddNote("messages per node are O(1) for the tournament protocol — the local " +
@@ -162,22 +194,23 @@ func E13Construction(cfg Config) *Table {
 	return t
 }
 
-// E14Baselines compares UDG-SENS against the classical full-connectivity
+// e14Baselines compares UDG-SENS against the classical full-connectivity
 // topology-control structures on one deployment: who uses how many nodes,
-// at what degree, with what stretch and power cost.
-func E14Baselines(cfg Config) *Table {
-	t := &Table{
-		ID:    "E14",
-		Title: "UDG-SENS vs topology-control baselines (same deployment, λ=16)",
-		Columns: []string{"structure", "active frac", "edges", "mean deg", "max deg",
-			"mean stretch", "mean power stretch (β=2)", "edge power (β=2)"},
-	}
-	side := cfg.size(22, 12)
+// at what degree, with what stretch and power cost. Every structure is
+// pulled through the cache and all seven stretch measurements share the
+// base graph's weight slabs via the engine slab cache.
+func e14Baselines(ctx *scenario.Ctx) *Table {
+	cfg := ctx.Cfg
+	t := scenario.NewTable("E14",
+		"UDG-SENS vs topology-control baselines (same deployment, λ=16)",
+		"structure", "active frac", "edges", "mean deg", "max deg",
+		"mean stretch", "mean power stretch (β=2)", "edge power (β=2)")
+	side := cfg.Size(22, 12)
 	box := geom.Box(side, side)
-	g := rng.Sub(cfg.Seed, 930)
-	pts := pointprocess.Poisson(box, 16, g)
-	base := rgg.UDG(pts, 1)
-	net, err := core.BuildUDG(pts, box, tiling.DefaultUDGSpec(), core.Options{Base: base})
+	dep := ctx.Deploy(930, box, 16)
+	pts := dep.Pts
+	base := ctx.UDG(dep, 1)
+	net, err := ctx.UDGNet(dep, tiling.DefaultUDGSpec(), scenario.NetOptions{})
 	if err != nil {
 		t.AddRow("ERR: " + err.Error())
 		return t
@@ -189,24 +222,35 @@ func E14Baselines(cfg Config) *Table {
 		candidates []int32
 		activeFrac float64
 	}
+	baseKey := dep.Key + "|udg-r1"
 	baseMembers, _ := graph.LargestComponent(base.CSR)
 	entries := []entry{
 		{"UDG base", base.CSR, baseMembers, 1},
 		{"UDG-SENS", net.Graph, net.Members, net.ActiveFraction()},
-		{"Gabriel", topo.Gabriel(base).CSR, baseMembers, 1},
-		{"RNG", topo.RelativeNeighborhood(base).CSR, baseMembers, 1},
-		{"Yao(6)", topo.Yao(base, 6).CSR, baseMembers, 1},
-		{"EMST", topo.EMST(base).CSR, baseMembers, 1},
-		{"NN(6)", topo.KNN(pts, 6).CSR, baseMembers, 1},
+		{"Gabriel", ctx.Baseline("gabriel", baseKey, func() *rgg.Geometric {
+			return topo.Gabriel(base)
+		}).CSR, baseMembers, 1},
+		{"RNG", ctx.Baseline("rng", baseKey, func() *rgg.Geometric {
+			return topo.RelativeNeighborhood(base)
+		}).CSR, baseMembers, 1},
+		{"Yao(6)", ctx.Baseline("yao6", baseKey, func() *rgg.Geometric {
+			return topo.Yao(base, 6)
+		}).CSR, baseMembers, 1},
+		{"EMST", ctx.Baseline("emst", baseKey, func() *rgg.Geometric {
+			return topo.EMST(base)
+		}).CSR, baseMembers, 1},
+		{"NN(6)", ctx.Baseline("knn6", dep.Key, func() *rgg.Geometric {
+			return topo.KNN(pts, 6)
+		}).CSR, baseMembers, 1},
 	}
-	pairs := cfg.trials(40, 10)
+	pairs := cfg.Trials(40, 10)
 	rows := make([][]string, len(entries))
 	parallelFor(len(entries), func(i int) {
 		e := entries[i]
 		gg := rng.Sub(cfg.Seed, uint64(940+i))
 		meanStretch, meanPower := "n/a", "n/a"
-		if samples, err := power.MeasureStretch(e.g, base.CSR, pts, e.candidates, 2,
-			pairs, pairs*40, gg); err == nil {
+		if samples, err := power.MeasureStretchCached(e.g, base.CSR, pts, e.candidates, 2,
+			pairs, pairs*40, gg, ctx.Slabs); err == nil {
 			var ds, ps []float64
 			for _, s := range samples {
 				ds = append(ds, s.DistStretch)

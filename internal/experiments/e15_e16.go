@@ -1,26 +1,48 @@
 package experiments
 
 import (
-	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/lattice"
-	"repro/internal/pointprocess"
 	"repro/internal/rng"
+	"repro/internal/scenario"
 	"repro/internal/tiling"
 )
 
-// E15AblationGeometry sweeps the repaired-geometry parameter family and
+func registerE15E16() {
+	scenario.Register(scenario.Scenario{
+		ID: "E15", Name: "ablation-geometry",
+		Title: "Ablation: repaired geometry parameters → λs (+ optimizer)",
+		Tags:  []string{"ablation", "threshold", "udg", "montecarlo"},
+		Grid: []scenario.Param{
+			grid("(r0, re)", "(0.40,0.10)", "(0.35,0.15)", "(0.30,0.20)", "(0.25,0.25)",
+				"(0.20,0.25)", "(0.20,0.20)", "(0.30,0.15)", "(0.45,0.05)"),
+		},
+		Run: e15AblationGeometry,
+	})
+	scenario.Register(scenario.Scenario{
+		ID: "E16", Name: "ablation-relaxed",
+		Title: "Ablation: relaxed-mode handshake failures on the paper's tile",
+		Tags:  []string{"ablation", "udg", "geometry"},
+		Grid: []scenario.Param{
+			grid("band half-height", "0.25", "0.5", "2/3"),
+			grid("λ", "4", "8"),
+		},
+		Needs: []string{"deployment", "udg-base", "udg-sens"},
+		Run:   e16AblationRelaxed,
+	})
+}
+
+// e15AblationGeometry sweeps the repaired-geometry parameter family and
 // reports the resulting threshold λs, then runs the one-dimensional
 // optimizer — implementing the paper's conclusion's future-work item of
 // bringing λs closer to the true λc. The sweep shows the trade-off the
 // default spec resolves: a bigger center region helps until the four relay
 // regions become the bottleneck.
-func E15AblationGeometry(cfg Config) *Table {
-	t := &Table{
-		ID:      "E15",
-		Title:   "Ablation: repaired UDG-SENS geometry (r0, re) → threshold λs",
-		Columns: []string{"r0", "re", "tile side", "λs analytic", "P(good)@λs MC", "feasible"},
-	}
+func e15AblationGeometry(ctx *scenario.Ctx) *Table {
+	cfg := ctx.Cfg
+	t := scenario.NewTable("E15",
+		"Ablation: repaired UDG-SENS geometry (r0, re) → threshold λs",
+		"r0", "re", "tile side", "λs analytic", "P(good)@λs MC", "feasible")
 	pc := lattice.SitePcReference
 	type row struct {
 		r0, re float64
@@ -29,7 +51,7 @@ func E15AblationGeometry(cfg Config) *Table {
 		{0.40, 0.10}, {0.35, 0.15}, {0.30, 0.20}, {0.25, 0.25},
 		{0.20, 0.25}, {0.20, 0.20}, {0.30, 0.15}, {0.45, 0.05},
 	}
-	trials := cfg.trials(2500, 300)
+	trials := cfg.Trials(2500, 300)
 	type result struct {
 		spec     tiling.UDGSpec
 		lambdaS  float64
@@ -67,18 +89,17 @@ func E15AblationGeometry(cfg Config) *Table {
 	return t
 }
 
-// E16AblationRelaxed measures what the paper's as-written Figure 7
+// e16AblationRelaxed measures what the paper's as-written Figure 7
 // algorithm actually does on the original 4/3-tile: how often the
 // connect() handshakes fail for different relay-band heights, and what
 // fraction of "good" tiles survive into the network.
-func E16AblationRelaxed(cfg Config) *Table {
-	t := &Table{
-		ID:    "E16",
-		Title: "Ablation: relaxed (as-written) UDG-SENS on the 4/3 tile — handshake failures",
-		Columns: []string{"band half-height", "λ", "good tiles", "handshakes",
-			"failures", "fail %", "members", "max degree"},
-	}
-	side := cfg.size(24, 12)
+func e16AblationRelaxed(ctx *scenario.Ctx) *Table {
+	cfg := ctx.Cfg
+	t := scenario.NewTable("E16",
+		"Ablation: relaxed (as-written) UDG-SENS on the 4/3 tile — handshake failures",
+		"band half-height", "λ", "good tiles", "handshakes",
+		"failures", "fail %", "members", "max degree")
+	side := cfg.Size(24, 12)
 	box := geom.Box(side, side)
 	bands := []float64{0.25, 0.5, 2.0 / 3.0}
 	lambdas := []float64{4, 8}
@@ -95,9 +116,8 @@ func E16AblationRelaxed(cfg Config) *Table {
 	parallelFor(len(jobs), func(i int) {
 		spec := tiling.RelaxedUDGSpec()
 		spec.BandH = jobs[i].band
-		g := rng.Sub(cfg.Seed, uint64(1600+i))
-		pts := pointprocess.Poisson(box, jobs[i].lambda, g)
-		n, err := core.BuildUDG(pts, box, spec, core.Options{})
+		dep := ctx.Deploy(uint64(1600+i), box, jobs[i].lambda)
+		n, err := ctx.UDGNet(dep, spec, scenario.NetOptions{})
 		if err != nil {
 			jobs[i].row = []string{f4(jobs[i].band), f4(jobs[i].lambda), "ERR: " + err.Error(), "", "", "", "", ""}
 			return

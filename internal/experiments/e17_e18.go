@@ -5,26 +5,53 @@ import (
 	"repro/internal/geom"
 	"repro/internal/pointprocess"
 	"repro/internal/rng"
+	"repro/internal/scenario"
 	"repro/internal/tiling"
 )
 
-// E17FaultTolerance probes the redundancy story from the paper's §1: nodes
+func registerE17E18() {
+	scenario.Register(scenario.Scenario{
+		ID: "E17", Name: "fault-tolerance",
+		Title: "Extension: fault tolerance — failures, degradation, local rebuild",
+		Tags:  []string{"extension", "resilience", "udg"},
+		Grid: []scenario.Param{
+			grid("fail rate q", "0.0", "0.1", "0.2", "0.3", "0.4", "0.5", "0.6"),
+		},
+		Run: e17FaultTolerance,
+	})
+	scenario.Register(scenario.Scenario{
+		ID: "E18", Name: "density-gradient",
+		Title: "Extension: robustness to inhomogeneous deployment density",
+		Tags:  []string{"extension", "robustness", "udg"},
+		Grid: []scenario.Param{
+			grid("λ0→λ1", "6→20", "10→16"),
+		},
+		Needs: []string{"deployment", "udg-sens"},
+		Run:   e18DensityGradient,
+	})
+}
+
+// e17FaultTolerance probes the redundancy story from the paper's §1: nodes
 // fail at rate q; the existing subnetwork fragments, but re-running the
 // local construction on the survivors restores it as long as the thinned
 // density (1−q)·λ stays above λs — the threshold crossover is visible in
 // the rebuilt good fraction.
-func E17FaultTolerance(cfg Config) *Table {
-	t := &Table{
-		ID:    "E17",
-		Title: "Fault tolerance: node failures, degradation and local rebuild (λ=16)",
-		Columns: []string{"fail rate q", "λ·(1−q)", "failed members", "surviving frac (no rebuild)",
-			"rebuilt good frac", "rebuilt members", "rebuilt healthy?"},
-	}
+//
+// The deployment is NOT pulled through the scenario cache: each job's RNG
+// substream continues past the Poisson draw into the failure sampling, so
+// serving the deployment from cache would leave the stream in the wrong
+// state (the cache correctness rule in scenario.Cache).
+func e17FaultTolerance(ctx *scenario.Ctx) *Table {
+	cfg := ctx.Cfg
+	t := scenario.NewTable("E17",
+		"Fault tolerance: node failures, degradation and local rebuild (λ=16)",
+		"fail rate q", "λ·(1−q)", "failed members", "surviving frac (no rebuild)",
+		"rebuilt good frac", "rebuilt members", "rebuilt healthy?")
 	const lambda = 16.0
 	qs := []float64{0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6}
 	type out struct{ row []string }
 	outs := make([]out, len(qs))
-	side := cfg.size(30, 15)
+	side := cfg.Size(30, 15)
 	parallelFor(len(qs), func(i int) {
 		g := rng.Sub(cfg.Seed, uint64(1700+i))
 		box := geom.Box(side, side)
@@ -59,27 +86,24 @@ func E17FaultTolerance(cfg Config) *Table {
 	return t
 }
 
-// E18DensityGradient drops the paper's homogeneity assumption: deployment
+// e18DensityGradient drops the paper's homogeneity assumption: deployment
 // intensity ramps linearly across the field. The construction keeps working
 // wherever the LOCAL density clears λs, and the good-tile map tracks the
 // gradient — evidence that the theory degrades gracefully and locally.
-func E18DensityGradient(cfg Config) *Table {
-	t := &Table{
-		ID:    "E18",
-		Title: "Robustness: linear density gradient λ(x) from λ0 to λ1 (UDG-SENS)",
-		Columns: []string{"λ0→λ1", "band x-range", "local λ (mid)", "band good frac",
-			"P(good) analytic at local λ"},
-	}
+func e18DensityGradient(ctx *scenario.Ctx) *Table {
+	cfg := ctx.Cfg
+	t := scenario.NewTable("E18",
+		"Robustness: linear density gradient λ(x) from λ0 to λ1 (UDG-SENS)",
+		"λ0→λ1", "band x-range", "local λ (mid)", "band good frac",
+		"P(good) analytic at local λ")
 	spec := tiling.DefaultUDGSpec()
-	side := cfg.size(36, 18)
+	side := cfg.Size(36, 18)
 	box := geom.Box(side, side)
 	type gradCase struct{ l0, l1 float64 }
 	cases := []gradCase{{6, 20}, {10, 16}}
 	for ci, gc := range cases {
-		g := rng.Sub(cfg.Seed, uint64(1800+ci))
-		grad := pointprocess.LinearGradient(box, gc.l0, gc.l1)
-		pts := pointprocess.Inhomogeneous(box, grad, gc.l1, g)
-		n, err := core.BuildUDG(pts, box, spec, core.Options{SkipBase: true})
+		dep := ctx.DeployGradient(uint64(1800+ci), box, gc.l0, gc.l1)
+		n, err := ctx.UDGNet(dep, spec, scenario.NetOptions{SkipBase: true})
 		if err != nil {
 			t.AddRow(f4(gc.l0)+"→"+f4(gc.l1), "ERR: "+err.Error(), "", "", "")
 			continue

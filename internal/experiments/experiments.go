@@ -1,126 +1,29 @@
 // Package experiments contains one driver per reproduced paper artifact
-// (see DESIGN.md §4): each E** function regenerates the table backing a
-// theorem, claim or numeric bound of the paper and returns it as a Table.
-// The drivers are callable from cmd/experiments, from the root-level
-// benchmark suite (one testing.B per experiment) and from tests.
+// (see DESIGN.md §4): each E** driver regenerates the table backing a
+// theorem, claim or numeric bound of the paper. The drivers are registered
+// as scenarios in internal/scenario — with tags, a declarative parameter
+// grid and the shared structures they need — and execute through a
+// scenario.Ctx, whose keyed cache shares deployments, base graphs, SENS
+// structures, topology baselines and power.Measurer weight slabs across
+// every driver in a suite run. They remain callable one-off from
+// cmd/experiments, the root benchmark suite and tests via the Runner shim.
 package experiments
 
 import (
 	"fmt"
 	"math"
-	"strings"
 
 	"repro/internal/parallel"
-	"repro/internal/rng"
+	"repro/internal/scenario"
 )
 
-// Config tunes an experiment run.
-type Config struct {
-	// Seed makes the run reproducible; every experiment derives independent
-	// substreams from it.
-	Seed rng.Seed
-	// Scale multiplies trial counts and shrinks boxes for quick runs:
-	// 1 = full (EXPERIMENTS.md numbers), 0.2 = smoke test. Values ≤ 0 are
-	// treated as 1.
-	Scale float64
-}
+// Config tunes an experiment run: seed plus trial/size scale. It is the
+// scenario engine's Config (Trials and Size are its scaling helpers).
+type Config = scenario.Config
 
-// trials scales a trial count, keeping at least min.
-func (c Config) trials(base, min int) int {
-	s := c.Scale
-	if s <= 0 {
-		s = 1
-	}
-	n := int(float64(base) * s)
-	if n < min {
-		n = min
-	}
-	return n
-}
-
-// size scales a linear dimension, keeping at least min.
-func (c Config) size(base, min float64) float64 {
-	s := c.Scale
-	if s <= 0 {
-		s = 1
-	}
-	// Linear dimensions shrink with sqrt(scale) so areas shrink with scale;
-	// scales above 1 do not grow the box.
-	if s > 1 {
-		s = 1
-	}
-	v := base * math.Sqrt(s)
-	if v < min {
-		v = min
-	}
-	return v
-}
-
-// Table is a rendered experiment result.
-type Table struct {
-	ID      string
-	Title   string
-	Columns []string
-	Rows    [][]string
-	Notes   []string
-}
-
-// AddRow appends a row (cell count should match Columns).
-func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
-
-// AddNote appends a free-text note rendered under the table.
-func (t *Table) AddNote(format string, args ...any) {
-	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
-}
-
-// String renders the table as aligned monospace text. Width accounting
-// covers every cell — including rows wider than the header, which get their
-// own column widths instead of inheriting (and misaligning under) the last
-// header column — and a table with no columns renders without panicking.
-func (t *Table) String() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
-	ncols := len(t.Columns)
-	for _, row := range t.Rows {
-		if len(row) > ncols {
-			ncols = len(row)
-		}
-	}
-	widths := make([]int, ncols)
-	for i, c := range t.Columns {
-		widths[i] = len(c)
-	}
-	for _, row := range t.Rows {
-		for i, cell := range row {
-			if len(cell) > widths[i] {
-				widths[i] = len(cell)
-			}
-		}
-	}
-	writeRow := func(cells []string) {
-		for i, cell := range cells {
-			if i > 0 {
-				b.WriteString("  ")
-			}
-			fmt.Fprintf(&b, "%-*s", widths[i], cell)
-		}
-		b.WriteByte('\n')
-	}
-	writeRow(t.Columns)
-	total := 0
-	for _, w := range widths {
-		total += w + 2
-	}
-	b.WriteString(strings.Repeat("-", max(total-2, 4)))
-	b.WriteByte('\n')
-	for _, row := range t.Rows {
-		writeRow(row)
-	}
-	for _, n := range t.Notes {
-		fmt.Fprintf(&b, "note: %s\n", n)
-	}
-	return b.String()
-}
+// Table is a rendered experiment result — the scenario engine's typed row
+// payload.
+type Table = scenario.Table
 
 // f4 formats a float at 4 significant digits. NaN — the mean of an empty
 // sample, a 0/0 ratio — renders as "n/a" so no experiment table can show a
@@ -143,33 +46,33 @@ func f2(v float64) string {
 // d formats an int.
 func d(v int) string { return fmt.Sprintf("%d", v) }
 
-// Runner is a registered experiment.
+// Runner is the historical per-experiment handle, kept for the library
+// surface (sensnet.RunExperiment), the benchmark suite and tests. Run
+// executes the registered scenario against fresh caches; suite runs that
+// want structure sharing go through scenario.Engine instead.
 type Runner struct {
 	ID    string
 	Title string
 	Run   func(Config) *Table
 }
 
-// All lists every experiment in DESIGN.md order.
-var All = []Runner{
-	{"E01", "Base model sanity: Poisson process, UDG and NN degree laws", E01BaseModels},
-	{"E02", "Site percolation critical probability (paper §2: p_c ∈ (0.592, 0.593))", E02SitePc},
-	{"E03", "Chemical distance concentration (Lemma 1.1, Antal–Pisztora)", E03ChemicalDistance},
-	{"E04", "UDG-SENS tile goodness and Claim 2.1 path bound", E04UDGClaim},
-	{"E05", "Theorem 2.2: λs threshold for UDG-SENS vs direct λc estimate", E05LambdaS},
-	{"E06", "NN-SENS tile goodness and Claim 2.3 path bound", E06NNClaim},
-	{"E07", "Theorem 2.4: ks threshold for NN-SENS vs direct kc estimate", E07KS},
-	{"E08", "Theorem 3.2: constant distance stretch of the SENS networks", E08Stretch},
-	{"E09", "Theorem 3.3: exponential coverage decay", E09Coverage},
-	{"E10", "Property P1: sparsity (degree distribution)", E10Sparsity},
-	{"E11", "Power stretch ≤ δ^β (Li–Wan–Wang)", E11Power},
-	{"E12", "§4.2 routing: probes vs optimal path (Angel et al.)", E12Routing},
-	{"E13", "§4.1 construction cost: election messages and rounds (P4)", E13Construction},
-	{"E14", "Baseline comparison: SENS vs Gabriel/RNG/Yao/EMST/k-NN", E14Baselines},
-	{"E15", "Ablation: repaired geometry parameters → λs (+ optimizer)", E15AblationGeometry},
-	{"E16", "Ablation: relaxed-mode handshake failures on the paper's tile", E16AblationRelaxed},
-	{"E17", "Extension: fault tolerance — failures, degradation, local rebuild", E17FaultTolerance},
-	{"E18", "Extension: robustness to inhomogeneous deployment density", E18DensityGradient},
+// All lists every experiment in DESIGN.md order (the scenario registration
+// order).
+var All []Runner
+
+func init() {
+	registerE01E03()
+	registerE04E07()
+	registerE08E11()
+	registerE12E14()
+	registerE15E16()
+	registerE17E18()
+	for _, s := range scenario.All() {
+		run := s.Run
+		All = append(All, Runner{ID: s.ID, Title: s.Title, Run: func(cfg Config) *Table {
+			return run(scenario.NewCtx(cfg))
+		}})
+	}
 }
 
 // ByID returns the runner with the given ID, or nil.
@@ -188,3 +91,8 @@ func ByID(id string) *Runner {
 // heavyweight, so every index gets its own shard instead of serializing
 // under the default bulk shard size.
 func parallelFor(n int, fn func(i int)) { parallel.ForGrain(n, 1, fn) }
+
+// grid builds a one-axis scenario.Param.
+func grid(name string, values ...string) scenario.Param {
+	return scenario.Param{Name: name, Values: values}
+}

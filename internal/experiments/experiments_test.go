@@ -55,20 +55,20 @@ func TestByID(t *testing.T) {
 
 func TestConfigScaling(t *testing.T) {
 	c := Config{Scale: 0.25}
-	if got := c.trials(100, 10); got != 25 {
+	if got := c.Trials(100, 10); got != 25 {
 		t.Errorf("trials = %d", got)
 	}
-	if got := c.trials(100, 60); got != 60 {
+	if got := c.Trials(100, 60); got != 60 {
 		t.Errorf("trials floor = %d", got)
 	}
-	if got := (Config{}).trials(100, 10); got != 100 {
+	if got := (Config{}).Trials(100, 10); got != 100 {
 		t.Errorf("zero scale should mean full: %d", got)
 	}
 	// size shrinks linearly with sqrt(scale): 0.25 → half.
-	if got := c.size(40, 5); got < 19 || got > 21 {
+	if got := c.Size(40, 5); got < 19 || got > 21 {
 		t.Errorf("size = %v", got)
 	}
-	if got := c.size(40, 30); got != 30 {
+	if got := c.Size(40, 30); got != 30 {
 		t.Errorf("size floor = %v", got)
 	}
 }

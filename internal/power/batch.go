@@ -47,15 +47,24 @@ type Measurer struct {
 // filled in parallel with deterministic content (a pure function of the
 // graphs and positions).
 func NewMeasurer(sub, base *graph.CSR, pos []geom.Point, spec BatchSpec) *Measurer {
+	return NewMeasurerCached(sub, base, pos, spec, nil)
+}
+
+// NewMeasurerCached is NewMeasurer with weight-slab memoization: slabs
+// (nil = no caching) serves each (graph, β) slab from cache, so measurers
+// sharing a base graph — the topology baselines of E14, the β sweep of E11
+// — fill the shared slabs once instead of once per measurer. The slabs are
+// read-only to the Measurer, so sharing is safe.
+func NewMeasurerCached(sub, base *graph.CSR, pos []geom.Point, spec BatchSpec, slabs *SlabCache) *Measurer {
 	m := &Measurer{sub: sub, base: base, pos: pos, spec: spec}
-	m.wSubD = edgeWeights(sub, pos, 0)
+	m.wSubD = slabs.weights(sub, pos, 0)
 	if spec.Beta > 0 {
-		m.wSubP = edgeWeights(sub, pos, spec.Beta)
+		m.wSubP = slabs.weights(sub, pos, spec.Beta)
 	}
 	if base != nil {
-		m.wBaseD = edgeWeights(base, pos, 0)
+		m.wBaseD = slabs.weights(base, pos, 0)
 		if spec.Beta > 0 {
-			m.wBaseP = edgeWeights(base, pos, spec.Beta)
+			m.wBaseP = slabs.weights(base, pos, spec.Beta)
 		}
 	}
 	return m

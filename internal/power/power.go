@@ -81,6 +81,16 @@ func (s StretchSample) EuclidStretch() float64 {
 // is serial, so results are deterministic at any GOMAXPROCS.
 func MeasureStretch(sub, base *graph.CSR, pos []geom.Point, candidates []int32,
 	beta float64, pairs, maxAttempts int, rng *rand.Rand) ([]StretchSample, error) {
+	return MeasureStretchCached(sub, base, pos, candidates, beta, pairs, maxAttempts, rng, nil)
+}
+
+// MeasureStretchCached is MeasureStretch with weight-slab memoization: the
+// Measurer it builds pulls its per-edge weight slabs from slabs (nil = no
+// caching), so repeated measurements against a shared graph — every E14
+// baseline against one UDG base, every E11 β against one SENS subgraph —
+// reuse the already-filled slabs.
+func MeasureStretchCached(sub, base *graph.CSR, pos []geom.Point, candidates []int32,
+	beta float64, pairs, maxAttempts int, rng *rand.Rand, slabs *SlabCache) ([]StretchSample, error) {
 	if sub.N != base.N {
 		return nil, errors.New("power: subgraph and base have different vertex counts")
 	}
@@ -108,7 +118,7 @@ func MeasureStretch(sub, base *graph.CSR, pos []geom.Point, candidates []int32,
 			}
 		}
 		if m == nil {
-			m = NewMeasurer(sub, base, pos, BatchSpec{Beta: beta})
+			m = NewMeasurerCached(sub, base, pos, BatchSpec{Beta: beta}, slabs)
 		}
 		for _, s := range m.Pairs(batch) {
 			if len(out) >= pairs {

@@ -1,0 +1,85 @@
+package power
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+)
+
+// SlabCache memoizes Measurer edge-weight slabs per (graph, β): the
+// ROADMAP's measurement-side batching item. A weight slab is a pure
+// function of a graph's CSR adjacency and the vertex positions it was built
+// over, so baselines sharing a base graph — the seven E14 structures all
+// measured against one UDG base, or the four E11 β sweeps over one SENS
+// subgraph — reuse one Euclidean slab and one power slab per β instead of
+// refilling len(Adj) floats per Measurer.
+//
+// Keys are graph identities (the *CSR pointer), not content hashes: the
+// scenario cache already guarantees one CSR per logical graph, and a
+// pointer key makes lookups free. Callers must pass the position slice the
+// graph was built over — the cache trusts the (graph, positions) pairing.
+//
+// A nil *SlabCache is valid and simply builds every slab fresh.
+type SlabCache struct {
+	mu     sync.Mutex
+	slabs  map[slabKey]*slabEntry
+	hits   int64
+	misses int64
+}
+
+type slabKey struct {
+	g    *graph.CSR
+	beta uint64 // Float64bits(β); 0-weight (Euclidean) slabs use β = 0
+}
+
+// slabEntry fills at most once even under concurrent first lookups.
+type slabEntry struct {
+	once sync.Once
+	w    []float64
+}
+
+// NewSlabCache returns an empty slab cache.
+func NewSlabCache() *SlabCache {
+	return &SlabCache{slabs: make(map[slabKey]*slabEntry)}
+}
+
+// Stats returns (hits, misses); misses count slab builds.
+func (c *SlabCache) Stats() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// weights returns the weight slab for (g, beta), building and caching it on
+// first use. beta <= 0 selects the Euclidean slab. Safe for concurrent use;
+// the slab is shared, so callers must treat it as read-only (Measurer
+// does).
+func (c *SlabCache) weights(g *graph.CSR, pos []geom.Point, beta float64) []float64 {
+	if c == nil {
+		return edgeWeights(g, pos, beta)
+	}
+	if beta < 0 {
+		beta = 0
+	}
+	key := slabKey{g: g, beta: math.Float64bits(beta)}
+	c.mu.Lock()
+	e, ok := c.slabs[key]
+	if !ok {
+		e = &slabEntry{}
+		c.slabs[key] = e
+		c.misses++
+	} else {
+		c.hits++
+	}
+	c.mu.Unlock()
+	// Fill outside the lock so distinct slabs build in parallel; the entry's
+	// once guarantees each slab fills at most once even when concurrent
+	// first lookups race.
+	e.once.Do(func() { e.w = edgeWeights(g, pos, beta) })
+	return e.w
+}

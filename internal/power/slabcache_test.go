@@ -1,0 +1,131 @@
+package power
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/pointprocess"
+	"repro/internal/rgg"
+	"repro/internal/rng"
+)
+
+// TestSlabCacheReuse pins the memoization contract: two measurers over the
+// same graphs pull the SAME slab slices (pointer equality), each slab is
+// built exactly once, and the cached measurer produces identical samples to
+// an uncached one.
+func TestSlabCacheReuse(t *testing.T) {
+	sub, base, pts, pairs := batchFixture(t)
+	cache := NewSlabCache()
+	spec := BatchSpec{Beta: 2}
+
+	m1 := NewMeasurerCached(sub.CSR, base.CSR, pts, spec, cache)
+	if _, misses := cache.Stats(); misses != 4 {
+		t.Fatalf("first measurer built %d slabs, want 4 (subD, subP, baseD, baseP)", misses)
+	}
+	m2 := NewMeasurerCached(sub.CSR, base.CSR, pts, spec, cache)
+	hits, misses := cache.Stats()
+	if misses != 4 {
+		t.Errorf("second measurer rebuilt slabs: %d misses, want still 4", misses)
+	}
+	if hits != 4 {
+		t.Errorf("second measurer hit %d slabs, want 4", hits)
+	}
+	if &m1.wSubD[0] != &m2.wSubD[0] || &m1.wBaseP[0] != &m2.wBaseP[0] {
+		t.Error("cached measurers do not share slab storage")
+	}
+
+	// A different β shares the Euclidean slabs but builds new power slabs.
+	m3 := NewMeasurerCached(sub.CSR, base.CSR, pts, BatchSpec{Beta: 4}, cache)
+	if _, misses := cache.Stats(); misses != 6 {
+		t.Errorf("β=4 measurer should add exactly 2 power slabs: %d misses, want 6", misses)
+	}
+	if &m3.wSubD[0] != &m1.wSubD[0] {
+		t.Error("β=4 measurer rebuilt the shared Euclidean slab")
+	}
+
+	plain := MeasurePairs(sub.CSR, base.CSR, pts, pairs, spec)
+	cached := m2.Pairs(pairs)
+	if !reflect.DeepEqual(plain, cached) {
+		t.Error("cached measurer produced different samples than uncached")
+	}
+}
+
+// TestMeasurerWarmSlabAllocsBounded is the allocation gate for the slab
+// memoization: once the cache is warm, constructing another Measurer over
+// the same graphs must cost O(1) allocations (the struct and cache
+// bookkeeping), not the four len(Adj)-sized slab fills an uncached
+// construction pays.
+func TestMeasurerWarmSlabAllocsBounded(t *testing.T) {
+	sub, base, pts, _ := batchFixture(t)
+	cache := NewSlabCache()
+	spec := BatchSpec{Beta: 2}
+	NewMeasurerCached(sub.CSR, base.CSR, pts, spec, cache) // warm
+	const maxAllocs = 8
+	if a := testing.AllocsPerRun(100, func() {
+		NewMeasurerCached(sub.CSR, base.CSR, pts, spec, cache)
+	}); a > maxAllocs {
+		t.Errorf("warm-cache measurer construction allocates %.1f/op, want ≤ %d", a, maxAllocs)
+	}
+}
+
+// BenchmarkMeasurerWarmSlabs measures measurer construction against a warm
+// slab cache — the per-baseline cost E14 pays after the first structure.
+func BenchmarkMeasurerWarmSlabs(b *testing.B) {
+	g := rng.New(7)
+	pts := pointprocess.Poisson(geom.Box(10, 10), 4, g)
+	base := rgg.UDG(pts, 1.0)
+	sub := rgg.UDG(pts, 0.55)
+	cache := NewSlabCache()
+	spec := BatchSpec{Beta: 2}
+	NewMeasurerCached(sub.CSR, base.CSR, pts, spec, cache)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewMeasurerCached(sub.CSR, base.CSR, pts, spec, cache)
+	}
+}
+
+// TestSlabCacheNilSafe: a nil cache builds fresh slabs and never panics —
+// the compatibility path every pre-existing caller takes.
+func TestSlabCacheNilSafe(t *testing.T) {
+	sub, base, pts, pairs := batchFixture(t)
+	var c *SlabCache
+	m := NewMeasurerCached(sub.CSR, base.CSR, pts, BatchSpec{Beta: 2}, c)
+	if len(m.Pairs(pairs)) != len(pairs) {
+		t.Fatal("nil-cache measurer broken")
+	}
+	if h, ms := c.Stats(); h != 0 || ms != 0 {
+		t.Errorf("nil cache reports stats %d/%d", h, ms)
+	}
+}
+
+// TestSlabCacheConcurrentOnce: concurrent first lookups of one key build
+// the slab exactly once and all callers see the same slice.
+func TestSlabCacheConcurrentOnce(t *testing.T) {
+	g := rng.New(3)
+	pts := pointprocess.Poisson(geom.Box(8, 8), 4, g)
+	udg := rgg.UDG(pts, 1.0)
+	cache := NewSlabCache()
+	const workers = 8
+	out := make([][]float64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out[w] = cache.weights(udg.CSR, pts, 2)
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if &out[w][0] != &out[0][0] {
+			t.Fatal("concurrent lookups returned distinct slabs")
+		}
+	}
+	hits, misses := cache.Stats()
+	if misses != 1 || hits != workers-1 {
+		t.Errorf("stats %d hits / %d misses, want %d / 1", hits, misses, workers-1)
+	}
+}

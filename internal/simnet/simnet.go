@@ -10,10 +10,7 @@
 // timers.
 package simnet
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // NodeID identifies a simulated node.
 type NodeID int32
@@ -86,7 +83,7 @@ func (n *Network) After(delay float64, fn func(*Network)) {
 func (n *Network) push(e event) {
 	e.seq = n.seq
 	n.seq++
-	heap.Push(&n.queue, e)
+	n.queue.push(e)
 }
 
 // Run processes events until the queue is empty or maxEvents have been
@@ -94,11 +91,11 @@ func (n *Network) push(e event) {
 // no limit.
 func (n *Network) Run(maxEvents int) int {
 	processed := 0
-	for n.queue.Len() > 0 {
+	for n.queue.len() > 0 {
 		if maxEvents > 0 && processed >= maxEvents {
 			break
 		}
-		e := heap.Pop(&n.queue).(event)
+		e := n.queue.pop()
 		if e.at < n.now {
 			panic(fmt.Sprintf("simnet: time went backwards: %v < %v", e.at, n.now))
 		}
@@ -120,24 +117,64 @@ func (n *Network) Run(maxEvents int) int {
 }
 
 // Pending returns the number of undelivered events.
-func (n *Network) Pending() int { return n.queue.Len() }
+func (n *Network) Pending() int { return n.queue.len() }
 
-// eventHeap orders events by (time, sequence).
+// eventHeap is a concrete binary min-heap of events keyed on (time, seq).
+// It replaces the container/heap implementation, whose interface methods
+// boxed every pushed event into an allocation — the same defect the
+// graph-side Dijkstra heap removed. Events move by value inside the backing
+// slice; the only allocations are slice growth.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) len() int { return len(h) }
+
+// before is the (time, sequence) strict weak order: earlier time first,
+// insertion order breaking ties, which is what makes execution
+// deterministic.
+func (h eventHeap) before(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	q := *h
+	// Sift up.
+	for i := len(q) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !q.before(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	q := *h
+	top := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	q[last] = event{} // release the payload reference
+	q = q[:last]
+	*h = q
+	// Sift down.
+	for i := 0; ; {
+		left := 2*i + 1
+		if left >= len(q) {
+			break
+		}
+		smallest := left
+		if right := left + 1; right < len(q) && q.before(right, left) {
+			smallest = right
+		}
+		if !q.before(smallest, i) {
+			break
+		}
+		q[i], q[smallest] = q[smallest], q[i]
+		i = smallest
+	}
+	return top
 }

@@ -124,3 +124,87 @@ func TestDeterministicOrdering(t *testing.T) {
 		}
 	}
 }
+
+// TestEventHeapOrderingProperty drains a heap filled with adversarial
+// (time, seq) mixes — duplicate times, reverse order, interleaved pushes
+// and pops — and asserts strict (time, seq) ascending delivery. This pins
+// the concrete min-heap that replaced container/heap.
+func TestEventHeapOrderingProperty(t *testing.T) {
+	rnd := uint64(12345)
+	next := func(n uint64) uint64 { // xorshift, no external deps
+		rnd ^= rnd << 13
+		rnd ^= rnd >> 7
+		rnd ^= rnd << 17
+		return rnd % n
+	}
+	var h eventHeap
+	var model []event // reference multiset of pending events
+	seq := int64(0)
+	push := func(at float64) {
+		e := event{at: at, seq: seq}
+		seq++
+		h.push(e)
+		model = append(model, e)
+	}
+	popped := 0
+	popOne := func() {
+		if h.len() == 0 {
+			return
+		}
+		got := h.pop()
+		// The heap must return the (time, seq)-minimum of the pending set.
+		minIdx := 0
+		for i, e := range model {
+			m := model[minIdx]
+			if e.at < m.at || (e.at == m.at && e.seq < m.seq) {
+				minIdx = i
+			}
+		}
+		want := model[minIdx]
+		if got.at != want.at || got.seq != want.seq {
+			t.Fatalf("pop %d: got (t=%v, seq=%d), want minimum (t=%v, seq=%d)",
+				popped, got.at, got.seq, want.at, want.seq)
+		}
+		model = append(model[:minIdx], model[minIdx+1:]...)
+		popped++
+	}
+	for i := 0; i < 2000; i++ {
+		switch next(4) {
+		case 0, 1:
+			push(float64(next(50))) // many duplicate timestamps
+		case 2:
+			push(float64(50 - i%50)) // descending runs
+		default:
+			popOne()
+		}
+	}
+	for h.len() > 0 {
+		popOne()
+	}
+	if popped == 0 || len(model) != 0 {
+		t.Fatalf("drained %d, %d left in model", popped, len(model))
+	}
+}
+
+// TestRunZeroAllocsSteadyState: pushing and popping events through the
+// concrete heap must not allocate once the backing slice has grown (the
+// container/heap version boxed every push).
+func TestEventHeapPushPopNoBoxing(t *testing.T) {
+	var h eventHeap
+	for i := 0; i < 256; i++ { // grow backing storage
+		h.push(event{at: float64(i % 7), seq: int64(i)})
+	}
+	for h.len() > 0 {
+		h.pop()
+	}
+	if a := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			h.push(event{at: float64((i * 13) % 11), seq: int64(i)})
+		}
+		for h.len() > 0 {
+			h.pop()
+		}
+	}); a != 0 {
+		t.Errorf("event heap allocates %.2f per push/pop cycle, want 0", a)
+	}
+}
