@@ -1,17 +1,25 @@
 GO ?= go
 
-.PHONY: verify test bench baseline bench-compare ci scenarios
+.PHONY: verify test bench baseline bench-compare ci doclint scenarios
 
-# verify is the tier-1 gate: build + vet + full test suite.
+# verify is the tier-1 gate: build (including every example), vet, full
+# test suite.
 verify:
 	$(GO) build ./...
+	$(GO) build ./examples/...
 	$(GO) vet ./...
 	$(GO) test ./...
 
-# ci is the full pre-merge pipeline: the tier-1 gate plus a benchmark run
-# diffed against the checked-in baseline, flagging >10% time regressions.
-# Set BENCH_STRICT=1 to turn flags into a non-zero exit.
-ci: verify bench-compare
+# doclint fails when any exported identifier in the module lacks a godoc
+# comment (see cmd/doclint) — documentation regressions break the build.
+doclint:
+	$(GO) run ./cmd/doclint ./...
+
+# ci is the full pre-merge pipeline: the tier-1 gate (build + vet + test),
+# the doc-comment lint, and a benchmark run diffed against the checked-in
+# baseline, flagging >10% time regressions. Set BENCH_STRICT=1 to turn
+# flags into a non-zero exit.
+ci: verify doclint bench-compare
 
 # scenarios emits per-scenario wall times (JSON) from a reduced-scale
 # engine run — the experiment-level perf trajectory.

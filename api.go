@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/geom"
+	"repro/internal/hng"
 	"repro/internal/pointprocess"
 	"repro/internal/rgg"
 	"repro/internal/rng"
@@ -167,6 +168,32 @@ var (
 	EMST = topo.EMST
 )
 
+// Hierarchical neighbor graphs (arXiv:0903.0742) — the competing
+// bounded-degree low-stretch topology from the same research line,
+// reproduced in internal/hng and compared against the SENS constructions by
+// the H01–H03 scenarios (tag "topology:hng").
+type (
+	// HNGSpec parameterizes a hierarchical neighbor graph (promotion
+	// probability, bounded-degree chaining cap).
+	HNGSpec = hng.Spec
+	// HNGGraph is a constructed hierarchical neighbor graph: positions, CSR
+	// adjacency, per-node levels and construction stats.
+	HNGGraph = hng.Graph
+)
+
+// DefaultHNGSpec returns the reference HNG parameterization (p = 1/8,
+// chaining cap 6) used by the H** scenarios.
+func DefaultHNGSpec() HNGSpec { return hng.DefaultSpec() }
+
+// BuildHNG constructs the hierarchical neighbor graph over pts. The seed
+// drives only the level promotion draws; construction is deterministic at
+// any GOMAXPROCS. The result flows through the same measurement engine as
+// every other structure (its CSR works with MeasureStretch and the power
+// Measurer).
+func BuildHNG(pts []Point, spec HNGSpec, seed Seed) (*HNGGraph, error) {
+	return hng.Build(pts, spec, rng.New(seed))
+}
+
 // RouteResult reports a SENS routing attempt.
 type RouteResult = routing.SensResult
 
@@ -182,9 +209,10 @@ type ExperimentTable = experiments.Table
 // ExperimentConfig tunes experiment runs (seed + scale).
 type ExperimentConfig = experiments.Config
 
-// RunExperiment runs the experiment with the given ID ("E01".."E18");
-// returns nil for unknown IDs. The run executes against fresh caches; to
-// share structures across several experiments use NewScenarioEngine.
+// RunExperiment runs the experiment with the given ID ("E01".."E18", or an
+// HNG scenario "H01".."H03"); returns nil for unknown IDs. The run executes
+// against fresh caches; to share structures across several experiments use
+// NewScenarioEngine.
 func RunExperiment(id string, cfg ExperimentConfig) *ExperimentTable {
 	r := experiments.ByID(id)
 	if r == nil {

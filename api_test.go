@@ -53,6 +53,24 @@ func TestPublicNNFlow(t *testing.T) {
 	}
 }
 
+func TestPublicHNGFlow(t *testing.T) {
+	box := sensnet.Box(16, 16)
+	pts := sensnet.Deploy(box, 8, 4)
+	g, err := sensnet.BuildHNG(pts, sensnet.DefaultHNGSpec(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Levels) != len(pts) || g.EdgeCount == 0 {
+		t.Fatalf("bad HNG: %v", g)
+	}
+	if !strings.Contains(g.String(), "HNG") {
+		t.Errorf("String() = %q", g.String())
+	}
+	if _, err := sensnet.BuildHNG(pts, sensnet.HNGSpec{P: 2}, 5); err == nil {
+		t.Error("invalid spec should fail")
+	}
+}
+
 func TestPublicDeployN(t *testing.T) {
 	pts := sensnet.DeployN(sensnet.Box(5, 5), 250, 3)
 	if len(pts) != 250 {
@@ -78,7 +96,7 @@ func TestPublicBaselines(t *testing.T) {
 
 func TestPublicExperimentAccess(t *testing.T) {
 	ids := sensnet.ExperimentIDs()
-	if len(ids) != 18 || ids[0] != "E01" || ids[17] != "E18" {
+	if len(ids) != 21 || ids[0] != "E01" || ids[17] != "E18" || ids[20] != "H03" {
 		t.Fatalf("ExperimentIDs = %v", ids)
 	}
 	tab := sensnet.RunExperiment("E01", sensnet.ExperimentConfig{Seed: 5, Scale: 0.1})
@@ -143,8 +161,8 @@ func TestPublicDeployGradient(t *testing.T) {
 
 func TestPublicScenarioSurface(t *testing.T) {
 	scs := sensnet.Scenarios()
-	if len(scs) != 18 {
-		t.Fatalf("want 18 registered scenarios, got %d", len(scs))
+	if len(scs) != 21 {
+		t.Fatalf("want 21 registered scenarios, got %d", len(scs))
 	}
 	if len(sensnet.ScenarioTags()) == 0 {
 		t.Error("no scenario tags registered")
@@ -152,6 +170,10 @@ func TestPublicScenarioSurface(t *testing.T) {
 	sel, err := sensnet.MatchScenarios("tag:election")
 	if err != nil || len(sel) == 0 {
 		t.Fatalf("MatchScenarios(tag:election) = %d, %v", len(sel), err)
+	}
+	hngScs, err := sensnet.MatchScenarios("tag:topology:hng")
+	if err != nil || len(hngScs) != 3 {
+		t.Fatalf("MatchScenarios(tag:topology:hng) = %d, %v", len(hngScs), err)
 	}
 
 	var buf strings.Builder

@@ -127,6 +127,23 @@ func BenchmarkRouteOnSens(b *testing.B) {
 	}
 }
 
+// BenchmarkBuildHNG builds the hierarchical neighbor graph (internal/hng)
+// end to end at the SENS benchmarks' deployment scale (~9k points).
+func BenchmarkBuildHNG(b *testing.B) {
+	box := sensnet.Box(24, 24)
+	pts := sensnet.Deploy(box, 16, 7)
+	spec := sensnet.DefaultHNGSpec()
+	b.ReportMetric(float64(len(pts)), "points")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := sensnet.BuildHNG(pts, spec, 8)
+		if err != nil || g.EdgeCount == 0 {
+			b.Fatalf("bad HNG build: %v", err)
+		}
+	}
+}
+
 // Base-graph construction benchmarks at 10× and 50× the SENS benchmarks'
 // node counts (~9k points): the flat-CSR builder and the parallel point
 // loops are sized for exactly these scales. λ=16 UDG at radius 1 carries a
@@ -187,3 +204,15 @@ func BenchmarkE17FaultTolerance(b *testing.B) { runExperiment(b, "E17") }
 // BenchmarkE18DensityGradient regenerates E18: construction under an
 // inhomogeneous deployment.
 func BenchmarkE18DensityGradient(b *testing.B) { runExperiment(b, "E18") }
+
+// BenchmarkH01HNGSweep regenerates H01: hierarchical-neighbor-graph shape,
+// degree and stretch across promotion probabilities.
+func BenchmarkH01HNGSweep(b *testing.B) { runExperiment(b, "H01") }
+
+// BenchmarkH02HNGBaselines regenerates H02: the HNG vs SENS vs dense-base
+// head-to-head comparison.
+func BenchmarkH02HNGBaselines(b *testing.B) { runExperiment(b, "H02") }
+
+// BenchmarkH03HNGChurn regenerates H03: HNG churn degradation and
+// survivor-rebuild sweep.
+func BenchmarkH03HNGChurn(b *testing.B) { runExperiment(b, "H03") }

@@ -1,0 +1,172 @@
+// Command doclint checks that every exported identifier in the given
+// package directories carries a godoc comment — the documentation gate
+// wired into `make ci`, so a new exported symbol without a doc comment
+// fails the build instead of rotting silently.
+//
+// Usage:
+//
+//	doclint [dir ...]
+//
+// Each argument is a package directory; an argument ending in /... is
+// walked recursively (testdata and hidden directories are skipped). With
+// no arguments it checks ./... — the whole module. _test.go files are
+// exempt. The exit status is non-zero when any exported identifier lacks
+// documentation, with one "file:line: identifier" diagnostic per finding.
+//
+// The rules mirror godoc conventions: an exported function, method (on an
+// exported receiver), type, constant or variable needs a doc comment
+// either on its own declaration or on the enclosing grouped declaration
+// (a documented const/var block covers its members).
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	var dirs []string
+	for _, a := range args {
+		if rest, ok := strings.CutSuffix(a, "/..."); ok {
+			if rest == "." || rest == "" {
+				rest = "."
+			}
+			if err := filepath.WalkDir(rest, func(path string, d fs.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != rest && (strings.HasPrefix(name, ".") || name == "testdata") {
+					return filepath.SkipDir
+				}
+				dirs = append(dirs, path)
+				return nil
+			}); err != nil {
+				fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+				os.Exit(2)
+			}
+		} else {
+			dirs = append(dirs, a)
+		}
+	}
+	sort.Strings(dirs)
+
+	bad := 0
+	for _, dir := range dirs {
+		bad += lintDir(dir)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d exported identifier(s) missing doc comments\n", bad)
+		os.Exit(1)
+	}
+}
+
+// lintDir parses the non-test Go files of one directory and reports every
+// undocumented exported identifier; returns the finding count.
+func lintDir(dir string) int {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		if os.IsNotExist(err) {
+			fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+			os.Exit(2)
+		}
+		// A directory without Go files (or with build errors another gate
+		// reports better) is not doclint's concern.
+		return 0
+	}
+	bad := 0
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				bad += lintDecl(fset, decl)
+			}
+		}
+	}
+	return bad
+}
+
+// lintDecl reports the undocumented exported identifiers of one top-level
+// declaration.
+func lintDecl(fset *token.FileSet, decl ast.Decl) int {
+	report := func(pos token.Pos, name string) {
+		fmt.Printf("%s: %s\n", fset.Position(pos), name)
+	}
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || d.Doc != nil {
+			return 0
+		}
+		if d.Recv != nil && !exportedReceiver(d.Recv) {
+			return 0
+		}
+		report(d.Pos(), d.Name.Name)
+		return 1
+	case *ast.GenDecl:
+		// A documented grouped declaration covers all of its specs.
+		if d.Doc != nil {
+			return 0
+		}
+		bad := 0
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && s.Doc == nil && s.Comment == nil {
+					report(s.Pos(), s.Name.Name)
+					bad++
+				}
+			case *ast.ValueSpec:
+				if s.Doc != nil || s.Comment != nil {
+					continue
+				}
+				for _, n := range s.Names {
+					if n.IsExported() {
+						report(n.Pos(), n.Name)
+						bad++
+					}
+				}
+			}
+		}
+		return bad
+	}
+	return 0
+}
+
+// exportedReceiver reports whether a method's receiver type is exported
+// (methods on unexported types are internal API and exempt).
+func exportedReceiver(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}

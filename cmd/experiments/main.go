@@ -1,9 +1,10 @@
 // Command experiments regenerates the paper-reproduction tables (DESIGN.md
-// §4, EXPERIMENTS.md) through the scenario engine: every experiment
-// E01–E18 is a registered scenario, executed through a shared build cache
-// (deployments, base graphs, SENS structures, baselines and measurement
-// weight slabs are built at most once per suite run) with results streamed
-// to a pluggable sink.
+// §4) through the scenario engine: every experiment — the paper artifacts
+// E01–E18 and the hierarchical-neighbor-graph comparisons H01–H03 — is a
+// registered scenario, executed through a shared build cache (deployments,
+// base graphs, SENS structures, HNGs, baselines and measurement weight
+// slabs are built at most once per suite run) with results streamed to a
+// pluggable sink.
 //
 // Usage:
 //
@@ -12,6 +13,7 @@
 //	experiments -run E05,E07           # just the threshold experiments
 //	experiments -run 'E0?'             # glob over IDs or names
 //	experiments -run tag:power         # everything tagged "power"
+//	experiments -run tag:topology:hng  # the hierarchical-neighbor-graph suite
 //	experiments -run stretch           # by scenario name
 //	experiments -scale 0.2             # quick pass
 //	experiments -format csv -out t.csv # stream rows as CSV to a file

@@ -36,14 +36,19 @@
 // statistics — is implemented from scratch on the Go standard library in
 // the internal/ packages, and every quantitative claim of the paper has an
 // experiment driver (internal/experiments, surfaced via RunExperiment and
-// cmd/experiments).
+// cmd/experiments). Hierarchical neighbor graphs (arXiv:0903.0742), the
+// bounded-degree low-stretch structure from the same research line, are
+// implemented in internal/hng as the competing topology (BuildHNG, the
+// H01–H03 scenarios). README.md is the guided tour; DESIGN.md §1–§5 cover
+// the architecture and reproduction decisions in depth.
 //
 // # Scenario engine
 //
-// The experiment layer is declarative: each paper artifact E01–E18 is a
-// scenario registered in internal/scenario with a stable ID, a
-// human-friendly name, tags, a parameter grid and the shared structures it
-// needs. Scenarios are discovered and selected by ID, name, glob or tag
+// The experiment layer is declarative: each experiment — the paper
+// artifacts E01–E18 and the hierarchical-neighbor-graph comparisons
+// H01–H03 — is a scenario registered in internal/scenario with a stable
+// ID, a human-friendly name, tags, a parameter grid and the shared
+// structures it needs. Scenarios are discovered and selected by ID, name, glob or tag
 // (Scenarios, MatchScenarios, cmd/experiments -list / -run), and executed
 // through a ScenarioEngine whose keyed build cache shares every expensive
 // structure across the run: deployments, UDG/NN base graphs, SENS
@@ -66,9 +71,9 @@
 //	eng.Run(sensnet.ExperimentConfig{Seed: 2026, Scale: 1}, scs)
 //
 // New workloads (churn models, QoS sweeps, alternative constructions)
-// register the same way the built-in artifacts do — see the ROADMAP's
-// "adding a scenario" note — and inherit caching, selection, concurrency
-// and every output format for free.
+// register the same way the built-in artifacts do — docs/scenarios.md is
+// the authoring guide, including the cache-eligibility rules — and inherit
+// caching, selection, concurrency and every output format for free.
 //
 // # Construction pipeline architecture
 //

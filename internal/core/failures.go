@@ -52,7 +52,8 @@ func SimulateFailures(n *Network, q float64, rng *rand.Rand) (*FailureReport, er
 
 	// Degradation of the original topology: components of the induced
 	// subgraph on surviving members.
-	rep.SurvivingLargest = largestSurvivingComponent(n.Graph, n.Members, failed)
+	rep.SurvivingLargest = graph.LargestComponentWhere(n.Graph, n.Members,
+		func(u int32) bool { return !failed[u] })
 	if len(n.Members) > 0 {
 		rep.SurvivingFraction = float64(rep.SurvivingLargest) / float64(len(n.Members))
 	}
@@ -71,36 +72,6 @@ func SimulateFailures(n *Network, q float64, rng *rand.Rand) (*FailureReport, er
 		return nil, err
 	}
 	return rep, nil
-}
-
-// largestSurvivingComponent returns the largest component size among the
-// given members after deleting failed vertices (edges incident to a failed
-// vertex disappear).
-func largestSurvivingComponent(g *graph.CSR, members []int32, failed []bool) int {
-	uf := graph.NewUnionFind(g.N)
-	for _, u := range members {
-		if failed[u] {
-			continue
-		}
-		for _, v := range g.Neighbors(u) {
-			if v > u && !failed[v] {
-				uf.Union(u, v)
-			}
-		}
-	}
-	counts := map[int32]int{}
-	best := 0
-	for _, u := range members {
-		if failed[u] {
-			continue
-		}
-		r := uf.Find(u)
-		counts[r]++
-		if counts[r] > best {
-			best = counts[r]
-		}
-	}
-	return best
 }
 
 // SmallComponentWaste reports the §4.1 "small components turn themselves

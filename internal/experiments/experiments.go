@@ -67,6 +67,7 @@ func init() {
 	registerE12E14()
 	registerE15E16()
 	registerE17E18()
+	registerHNG()
 	for _, s := range scenario.All() {
 		run := s.Run
 		All = append(All, Runner{ID: s.ID, Title: s.Title, Run: func(cfg Config) *Table {

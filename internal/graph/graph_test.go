@@ -452,3 +452,30 @@ func BenchmarkUnionFindComponents(b *testing.B) {
 		Components(csr)
 	}
 }
+
+func TestLargestComponentWhere(t *testing.T) {
+	// Path 0-1-2-3-4; dropping vertex 2 leaves components {0,1} and {3,4}.
+	b := NewBuilder(5)
+	for i := int32(0); i < 4; i++ {
+		b.AddEdgeUnique(i, i+1)
+	}
+	c := b.Build()
+	alive := []bool{true, true, true, true, true}
+	keep := func(u int32) bool { return alive[u] }
+	if got := LargestComponentWhere(c, nil, keep); got != 5 {
+		t.Errorf("all alive: %d, want 5", got)
+	}
+	alive[2] = false
+	if got := LargestComponentWhere(c, nil, keep); got != 2 {
+		t.Errorf("split: %d, want 2", got)
+	}
+	if got := LargestComponentWhere(c, nil, func(int32) bool { return false }); got != 0 {
+		t.Errorf("all dead: %d, want 0", got)
+	}
+	// Restricting to a member subset ignores edges to non-members' side
+	// only via keep; members {0, 1} alone count 2 even while all alive.
+	alive[2] = true
+	if got := LargestComponentWhere(c, []int32{0, 1}, keep); got != 2 {
+		t.Errorf("member subset: %d, want 2", got)
+	}
+}

@@ -85,6 +85,50 @@ func Components(g *CSR) (labels []int32, sizes []int) {
 	return labels, sizes
 }
 
+// LargestComponentWhere returns the size of the largest connected
+// component of the subgraph induced by the vertices of members for which
+// keep reports true (edges incident to a dropped vertex disappear).
+// members nil means every vertex of the graph. It is the shared primitive
+// behind the failure/churn experiments' "how much network survives without
+// a rebuild" metric.
+func LargestComponentWhere(g *CSR, members []int32, keep func(int32) bool) int {
+	forEach := func(f func(u int32)) {
+		if members == nil {
+			for u := int32(0); int(u) < g.N; u++ {
+				f(u)
+			}
+		} else {
+			for _, u := range members {
+				f(u)
+			}
+		}
+	}
+	uf := NewUnionFind(g.N)
+	forEach(func(u int32) {
+		if !keep(u) {
+			return
+		}
+		for _, v := range g.Neighbors(u) {
+			if v > u && keep(v) {
+				uf.Union(u, v)
+			}
+		}
+	})
+	counts := make([]int32, g.N)
+	best := 0
+	forEach(func(u int32) {
+		if !keep(u) {
+			return
+		}
+		r := uf.Find(u)
+		counts[r]++
+		if int(counts[r]) > best {
+			best = int(counts[r])
+		}
+	})
+	return best
+}
+
 // LargestComponent returns the vertex set of the largest connected component
 // (ties broken by lowest label) and its component label.
 func LargestComponent(g *CSR) (members []int32, label int32) {

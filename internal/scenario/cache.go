@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/election"
 	"repro/internal/geom"
+	"repro/internal/hng"
 	"repro/internal/pointprocess"
 	"repro/internal/rgg"
 	"repro/internal/rng"
@@ -166,6 +167,27 @@ func (c *Ctx) UDGNet(dep Deployment, spec tiling.UDGSpec, opt NetOptions) (*core
 		return netResult{n, err}
 	})
 	return r.net, r.err
+}
+
+// hngResult pairs a built HNG with its construction error so failed builds
+// (invalid specs) are memoized like netResult.
+type hngResult struct {
+	g   *hng.Graph
+	err error
+}
+
+// HNG returns the cached hierarchical neighbor graph over the deployment,
+// built from substream stream of the seed. The substream drives only the
+// level promotion draws and is consumed entirely by the build (hng.Build's
+// contract), so HNG builds satisfy the Cache correctness rule; scenarios
+// sweeping a spec parameter must give each spec its own stream.
+func (c *Ctx) HNG(dep Deployment, spec hng.Spec, stream uint64) (*hng.Graph, error) {
+	key := fmt.Sprintf("hng|%s|spec=%+v|st=%d", dep.Key, spec, stream)
+	r := Get(c.Cache, key, func() hngResult {
+		g, err := hng.Build(dep.Pts, spec, rng.Sub(c.Cfg.Seed, stream))
+		return hngResult{g, err}
+	})
+	return r.g, r.err
 }
 
 // NNNet returns the cached NN-SENS network over the deployment. Unless

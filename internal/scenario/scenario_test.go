@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"bytes"
+	"encoding/csv"
 	"encoding/json"
 	"fmt"
 	"strings"
@@ -84,6 +85,58 @@ func TestRegistryMatch(t *testing.T) {
 	}
 	if tags := Tags(); fmt.Sprint(tags) != "[model percolation power sens]" {
 		t.Errorf("Tags() = %v", tags)
+	}
+}
+
+// TestMatchOverlappingSelectors pins the selection semantics when several
+// patterns hit the same scenarios: overlapping globs, a tag covering a
+// glob's matches, and exact IDs repeated through both must collapse to one
+// instance each, in registration order — never pattern order, never
+// duplicated into a double engine run.
+func TestMatchOverlappingSelectors(t *testing.T) {
+	withScenarios(t,
+		fakeScenario("E01", "alpha", "sens"),
+		fakeScenario("E02", "beta", "sens", "power"),
+		fakeScenario("E11", "power-stretch", "power"),
+		fakeScenario("H01", "hng-sweep", "hng"),
+	)
+	cases := []struct {
+		patterns []string
+		want     []string
+	}{
+		// Two globs overlapping on E01/E02.
+		{[]string{"E0?", "E*"}, []string{"E01", "E02", "E11"}},
+		// A tag covering a subset of a glob, plus an exact ID already matched.
+		{[]string{"E*", "tag:power", "E02"}, []string{"E01", "E02", "E11"}},
+		// Tag + name + glob all hitting the same scenario exactly once.
+		{[]string{"tag:hng", "hng-sweep", "H0?"}, []string{"H01"}},
+		// Later patterns cannot reorder: H01 selected first still emits last.
+		{[]string{"H01", "tag:sens"}, []string{"E01", "E02", "H01"}},
+	}
+	for _, c := range cases {
+		got, err := Match(c.patterns)
+		if err != nil {
+			t.Errorf("Match(%v): %v", c.patterns, err)
+			continue
+		}
+		var ids []string
+		for _, s := range got {
+			ids = append(ids, s.ID)
+		}
+		if fmt.Sprint(ids) != fmt.Sprint(c.want) {
+			t.Errorf("Match(%v) = %v, want %v", c.patterns, ids, c.want)
+		}
+	}
+	// An unknown ID errors even when other patterns in the list match —
+	// a typo must not silently shrink the selection.
+	if _, err := Match([]string{"E01", "E99"}); err == nil {
+		t.Error("unknown ID alongside valid patterns should error")
+	} else if !strings.Contains(err.Error(), "E99") {
+		t.Errorf("error should name the failing pattern: %v", err)
+	}
+	// An unknown tag is the same error path.
+	if _, err := Match([]string{"tag:nope"}); err == nil {
+		t.Error("unknown tag should error")
 	}
 }
 
@@ -231,6 +284,76 @@ func TestCSVSink(t *testing.T) {
 	want := "scenario,a,b\nE99,1,\"x,y\"\nE99,note,n1\n"
 	if buf.String() != want {
 		t.Errorf("csv output %q, want %q", buf.String(), want)
+	}
+}
+
+// TestCSVSinkEscaping pins RFC-4180 escaping for the cell values the
+// experiment tables actually produce: commas (multi-value cells), double
+// quotes (inch marks, quoted parameters) and embedded newlines must arrive
+// quoted/doubled so a reader recovers the original cells byte-for-byte.
+func TestCSVSinkEscaping(t *testing.T) {
+	tab := NewTable("E99", "demo", "a", "b", "c")
+	tab.AddRow(`x,y`, `say "hi"`, "line1\nline2")
+	tab.AddRow(`plain`, `,"`, ``)
+	tab.AddNote(`note with, comma and "quotes"`)
+	var buf bytes.Buffer
+	if err := Emit(NewCSVSink(&buf), tab); err != nil {
+		t.Fatal(err)
+	}
+	want := "scenario,a,b,c\n" +
+		"E99,\"x,y\",\"say \"\"hi\"\"\",\"line1\nline2\"\n" +
+		"E99,plain,\",\"\"\",\n" +
+		"E99,note,\"note with, comma and \"\"quotes\"\"\"\n"
+	if buf.String() != want {
+		t.Errorf("csv escaping wrong:\n got %q\nwant %q", buf.String(), want)
+	}
+	// Round trip: a CSV reader must recover the original cells. Note
+	// records carry 3 fields against the header's 4, so field-count
+	// checking is off.
+	r := csv.NewReader(strings.NewReader(buf.String()))
+	r.FieldsPerRecord = -1
+	recs, err := r.ReadAll()
+	if err != nil {
+		t.Fatalf("emitted CSV unreadable: %v", err)
+	}
+	if fmt.Sprint(recs[1]) != fmt.Sprint([]string{"E99", "x,y", `say "hi"`, "line1\nline2"}) {
+		t.Errorf("round-tripped row = %q", recs[1])
+	}
+}
+
+// TestJSONLSinkEscaping pins JSON escaping of quotes, commas, backslashes
+// and newlines in cells and notes: every emitted line must be valid JSON
+// that round-trips to the original strings.
+func TestJSONLSinkEscaping(t *testing.T) {
+	tab := NewTable("E99", `title "quoted", with comma`, "a", "b")
+	tab.AddRow(`cell "with" quotes`, "back\\slash and\nnewline")
+	tab.AddNote(`note, with "both"`)
+	var buf bytes.Buffer
+	if err := Emit(NewJSONLSink(&buf), tab); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 events, got %d:\n%s", len(lines), buf.String())
+	}
+	var ev jsonlEvent
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("table event not JSON: %v", err)
+	}
+	if ev.Title != `title "quoted", with comma` {
+		t.Errorf("title round trip = %q", ev.Title)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &ev); err != nil {
+		t.Fatalf("row event not JSON: %v", err)
+	}
+	if ev.Cells[0] != `cell "with" quotes` || ev.Cells[1] != "back\\slash and\nnewline" {
+		t.Errorf("cells round trip = %q", ev.Cells)
+	}
+	if err := json.Unmarshal([]byte(lines[2]), &ev); err != nil {
+		t.Fatalf("note event not JSON: %v", err)
+	}
+	if ev.Text != `note, with "both"` {
+		t.Errorf("note round trip = %q", ev.Text)
 	}
 }
 

@@ -36,3 +36,27 @@ func TestGraphBuildAllocationsBounded(t *testing.T) {
 		t.Errorf("NN build allocates %.0f/op for n=%d, want ≤ %d", a, len(pts), maxAllocs)
 	}
 }
+
+// TestHNGBuildAllocationsBounded gates the hierarchical-neighbor-graph
+// construction the same way: allocations per build are bounded by the
+// hierarchy height and shard count, not the node count. The dominant terms
+// are the per-level subset slices and kd-trees (O(levels)), the per-shard
+// query scratch and the one attachment sort — far under one allocation per
+// node.
+func TestHNGBuildAllocationsBounded(t *testing.T) {
+	box := sensnet.Box(35, 35)
+	pts := sensnet.Deploy(box, 16, 13) // ~20k points
+	if len(pts) < 15000 {
+		t.Fatalf("deployment too small: %d", len(pts))
+	}
+	spec := sensnet.DefaultHNGSpec()
+	const maxAllocs = 2000
+	if a := testing.AllocsPerRun(3, func() {
+		g, err := sensnet.BuildHNG(pts, spec, 21)
+		if err != nil || g.EdgeCount == 0 {
+			t.Error("bad HNG build")
+		}
+	}); a > maxAllocs {
+		t.Errorf("HNG build allocates %.0f/op for n=%d, want ≤ %d", a, len(pts), maxAllocs)
+	}
+}
