@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify test bench baseline bench-compare ci doclint scenarios
+.PHONY: verify test test-race bench baseline bench-compare ci doclint scenarios
 
 # verify is the tier-1 gate: build (including every example), vet, full
 # test suite.
@@ -16,10 +16,11 @@ doclint:
 	$(GO) run ./cmd/doclint ./...
 
 # ci is the full pre-merge pipeline: the tier-1 gate (build + vet + test),
-# the doc-comment lint, and a benchmark run diffed against the checked-in
-# baseline, flagging >10% time regressions. Set BENCH_STRICT=1 to turn
-# flags into a non-zero exit.
-ci: verify doclint bench-compare
+# the doc-comment lint, the race-detector pass over the concurrency-bearing
+# packages, and a benchmark run diffed against the checked-in baseline,
+# flagging >10% time regressions. Set BENCH_STRICT=1 to turn flags into a
+# non-zero exit.
+ci: verify doclint test-race bench-compare
 
 # scenarios emits per-scenario wall times (JSON) from a reduced-scale
 # engine run — the experiment-level perf trajectory.
@@ -28,6 +29,15 @@ scenarios:
 
 test:
 	$(GO) test ./...
+
+# test-race runs the concurrency-bearing packages under the race detector:
+# the parallel fan-out primitives, the engine's shared cache and
+# jobs-bounded scenario execution, the discrete-event simulator (whose
+# energy sink now hangs off Send/deliver), and the energy subsystem. Short
+# mode: race instrumentation makes the golden-scale suites several times
+# slower, and the data-race surface is fully exercised by the short tests.
+test-race:
+	$(GO) test -race -short ./internal/parallel ./internal/scenario ./internal/simnet ./internal/energy
 
 # bench runs every benchmark once with allocation reporting — the quick
 # "did I regress the pipeline" check.

@@ -5,6 +5,7 @@ import (
 	"math/rand/v2"
 
 	"repro/internal/core"
+	"repro/internal/energy"
 	"repro/internal/experiments"
 	"repro/internal/geom"
 	"repro/internal/hng"
@@ -194,6 +195,55 @@ func BuildHNG(pts []Point, spec HNGSpec, seed Seed) (*HNGGraph, error) {
 	return hng.Build(pts, spec, rng.New(seed))
 }
 
+// Energy and network lifetime (internal/energy): per-node batteries under a
+// first-order radio model, debited by the lifetime simulation, the simnet
+// energy sink and the routing charge hooks; measured by the Q01–Q03
+// scenarios (tag "energy").
+type (
+	// EnergyModel is the radio energy model: tx = bits·(c + d^β), rx per
+	// bit, idle drain per round.
+	EnergyModel = energy.Model
+	// Battery is one node's energy store (charge remaining, total spent).
+	Battery = energy.Battery
+	// LifetimeSpec configures a lifetime simulation (model, battery
+	// capacity, traffic rate, rotation).
+	LifetimeSpec = energy.Spec
+	// LifetimeReport is the outcome: first death, coverage lifetime,
+	// delivery counts, alive/component/service curves, residual-energy
+	// summary.
+	LifetimeReport = energy.Report
+)
+
+// DefaultEnergyModel returns the reference radio parameterization.
+func DefaultEnergyModel() EnergyModel { return energy.DefaultModel() }
+
+// DefaultLifetimeSpec returns the reference lifetime configuration used by
+// the Q** scenarios.
+func DefaultLifetimeSpec() LifetimeSpec { return energy.DefaultSpec() }
+
+// LifetimeSinks returns the deterministic multi-gateway sink choice for a
+// SENS network: up to four members, one nearest each quadrant centroid of
+// the member bounding box.
+func LifetimeSinks(n *Network) []int32 { return energy.QuadrantSinks(n.Pts, n.Members) }
+
+// SimulateLifetime runs the round-based data-gathering lifetime simulation
+// over the SENS network's members: every round each member reports
+// spec.Rate packets on average toward its nearest sink, hops debit tx/rx
+// energy, batteries that empty kill (or rotate) their node, and the report
+// carries first-death time, coverage lifetime and the alive/component
+// curves. Sinks are mains-powered. Deterministic in the seed at any
+// GOMAXPROCS.
+func SimulateLifetime(n *Network, sinks []int32, spec LifetimeSpec, seed Seed) (*LifetimeReport, error) {
+	return energy.SimulateLifetime(n.Graph, n.Pts, n.Members, sinks, spec, rng.New(seed))
+}
+
+// SimulateHNGLifetime is SimulateLifetime over a hierarchical neighbor
+// graph, whose every node is active (and battery-powered unless listed in
+// sinks).
+func SimulateHNGLifetime(h *HNGGraph, sinks []int32, spec LifetimeSpec, seed Seed) (*LifetimeReport, error) {
+	return energy.SimulateLifetime(h.CSR, h.Pos, h.Vertices(), sinks, spec, rng.New(seed))
+}
+
 // RouteResult reports a SENS routing attempt.
 type RouteResult = routing.SensResult
 
@@ -209,8 +259,9 @@ type ExperimentTable = experiments.Table
 // ExperimentConfig tunes experiment runs (seed + scale).
 type ExperimentConfig = experiments.Config
 
-// RunExperiment runs the experiment with the given ID ("E01".."E18", or an
-// HNG scenario "H01".."H03"); returns nil for unknown IDs. The run executes
+// RunExperiment runs the experiment with the given ID ("E01".."E18", an
+// HNG scenario "H01".."H03", or an energy/lifetime scenario "Q01".."Q03");
+// returns nil for unknown IDs. The run executes
 // against fresh caches; to share structures across several experiments use
 // NewScenarioEngine.
 func RunExperiment(id string, cfg ExperimentConfig) *ExperimentTable {

@@ -71,6 +71,58 @@ func TestPublicHNGFlow(t *testing.T) {
 	}
 }
 
+// TestPublicLifetimeFlow exercises the energy surface: build a SENS
+// network, pick its quadrant sinks, run the lifetime simulation and check
+// the report is internally consistent and deterministic.
+func TestPublicLifetimeFlow(t *testing.T) {
+	box := sensnet.Box(16, 16)
+	pts := sensnet.Deploy(box, 16, 6)
+	net, err := sensnet.BuildUDGSens(pts, box, sensnet.DefaultUDGSpec(), sensnet.Options{SkipBase: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sinks := sensnet.LifetimeSinks(net)
+	if len(sinks) == 0 {
+		t.Fatal("no sinks chosen")
+	}
+	spec := sensnet.DefaultLifetimeSpec()
+	spec.MaxRounds = 150
+	rep, err := sensnet.SimulateLifetime(net, sinks, spec, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rounds == 0 || rep.Attempted != rep.Delivered+rep.Dropped {
+		t.Fatalf("inconsistent report: %+v", rep)
+	}
+	if len(rep.Alive) != rep.Rounds {
+		t.Fatalf("curve length %d != rounds %d", len(rep.Alive), rep.Rounds)
+	}
+	rep2, err := sensnet.SimulateLifetime(net, sinks, spec, 11)
+	if err != nil || rep2.FirstDeath != rep.FirstDeath || rep2.Delivered != rep.Delivered {
+		t.Errorf("same seed diverged: %v vs %v (err %v)", rep.FirstDeath, rep2.FirstDeath, err)
+	}
+
+	// The HNG variant runs over every node.
+	h, err := sensnet.BuildHNG(pts, sensnet.DefaultHNGSpec(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hrep, err := sensnet.SimulateHNGLifetime(h, sinks, spec, 11)
+	if err != nil || hrep.Rounds == 0 {
+		t.Fatalf("HNG lifetime: %v (%+v)", err, hrep)
+	}
+
+	// The model surface is usable directly.
+	m := sensnet.DefaultEnergyModel()
+	if m.TxCost(1, 1) <= m.RxCost(1) {
+		t.Error("unit-distance tx should cost more than rx")
+	}
+	b := sensnet.Battery{Charge: 1}
+	if b.Drain(2) || !b.Dead() {
+		t.Error("battery arithmetic broken")
+	}
+}
+
 func TestPublicDeployN(t *testing.T) {
 	pts := sensnet.DeployN(sensnet.Box(5, 5), 250, 3)
 	if len(pts) != 250 {
@@ -96,7 +148,7 @@ func TestPublicBaselines(t *testing.T) {
 
 func TestPublicExperimentAccess(t *testing.T) {
 	ids := sensnet.ExperimentIDs()
-	if len(ids) != 21 || ids[0] != "E01" || ids[17] != "E18" || ids[20] != "H03" {
+	if len(ids) != 24 || ids[0] != "E01" || ids[17] != "E18" || ids[20] != "H03" || ids[23] != "Q03" {
 		t.Fatalf("ExperimentIDs = %v", ids)
 	}
 	tab := sensnet.RunExperiment("E01", sensnet.ExperimentConfig{Seed: 5, Scale: 0.1})
@@ -161,8 +213,8 @@ func TestPublicDeployGradient(t *testing.T) {
 
 func TestPublicScenarioSurface(t *testing.T) {
 	scs := sensnet.Scenarios()
-	if len(scs) != 21 {
-		t.Fatalf("want 21 registered scenarios, got %d", len(scs))
+	if len(scs) != 24 {
+		t.Fatalf("want 24 registered scenarios, got %d", len(scs))
 	}
 	if len(sensnet.ScenarioTags()) == 0 {
 		t.Error("no scenario tags registered")
@@ -174,6 +226,10 @@ func TestPublicScenarioSurface(t *testing.T) {
 	hngScs, err := sensnet.MatchScenarios("tag:topology:hng")
 	if err != nil || len(hngScs) != 3 {
 		t.Fatalf("MatchScenarios(tag:topology:hng) = %d, %v", len(hngScs), err)
+	}
+	energyScs, err := sensnet.MatchScenarios("tag:energy")
+	if err != nil || len(energyScs) != 3 {
+		t.Fatalf("MatchScenarios(tag:energy) = %d, %v", len(energyScs), err)
 	}
 
 	var buf strings.Builder

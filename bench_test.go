@@ -216,3 +216,38 @@ func BenchmarkH02HNGBaselines(b *testing.B) { runExperiment(b, "H02") }
 // BenchmarkH03HNGChurn regenerates H03: HNG churn degradation and
 // survivor-rebuild sweep.
 func BenchmarkH03HNGChurn(b *testing.B) { runExperiment(b, "H03") }
+
+// BenchmarkQ01Lifetime regenerates Q01: network lifetime head-to-head
+// (UDG-SENS vs NN-SENS vs HNG under the default radio model).
+func BenchmarkQ01Lifetime(b *testing.B) { runExperiment(b, "Q01") }
+
+// BenchmarkQ02LifetimeQoS regenerates Q02: the report-rate × path-loss-β
+// QoS sweep on UDG-SENS.
+func BenchmarkQ02LifetimeQoS(b *testing.B) { runExperiment(b, "Q02") }
+
+// BenchmarkQ03LifetimeRotation regenerates Q03: member rotation on vs off.
+func BenchmarkQ03LifetimeRotation(b *testing.B) { runExperiment(b, "Q03") }
+
+// BenchmarkSimulateLifetimePublic runs the public lifetime simulation over
+// a UDG-SENS network end to end (the per-cell cost of the Q scenarios at
+// API level; the internal/energy benchmark covers the raw engine).
+func BenchmarkSimulateLifetimePublic(b *testing.B) {
+	box := sensnet.Box(16, 16)
+	pts := sensnet.Deploy(box, 16, 6)
+	net, err := sensnet.BuildUDGSens(pts, box, sensnet.DefaultUDGSpec(), sensnet.Options{SkipBase: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sinks := sensnet.LifetimeSinks(net)
+	spec := sensnet.DefaultLifetimeSpec()
+	spec.MaxRounds = 400
+	b.ReportMetric(float64(len(net.Members)), "members")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := sensnet.SimulateLifetime(net, sinks, spec, sensnet.Seed(i))
+		if err != nil || rep.Rounds == 0 {
+			b.Fatalf("bad run: %v", err)
+		}
+	}
+}

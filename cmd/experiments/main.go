@@ -1,10 +1,11 @@
 // Command experiments regenerates the paper-reproduction tables (DESIGN.md
 // §4) through the scenario engine: every experiment — the paper artifacts
-// E01–E18 and the hierarchical-neighbor-graph comparisons H01–H03 — is a
-// registered scenario, executed through a shared build cache (deployments,
-// base graphs, SENS structures, HNGs, baselines and measurement weight
-// slabs are built at most once per suite run) with results streamed to a
-// pluggable sink.
+// E01–E18, the hierarchical-neighbor-graph comparisons H01–H03 and the
+// energy/lifetime scenarios Q01–Q03 — is a registered scenario, executed
+// through a shared build cache (deployments, base graphs, SENS structures,
+// HNGs, baselines, lifetime instances and measurement weight slabs are
+// built at most once per suite run) with results streamed to a pluggable
+// sink.
 //
 // Usage:
 //
@@ -14,6 +15,7 @@
 //	experiments -run 'E0?'             # glob over IDs or names
 //	experiments -run tag:power         # everything tagged "power"
 //	experiments -run tag:topology:hng  # the hierarchical-neighbor-graph suite
+//	experiments -run tag:energy        # the battery/lifetime suite (Q01–Q03)
 //	experiments -run stretch           # by scenario name
 //	experiments -scale 0.2             # quick pass
 //	experiments -format csv -out t.csv # stream rows as CSV to a file

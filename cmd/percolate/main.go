@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -24,33 +25,59 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// sampleAttemptFactor bounds pair resampling: up to this many draws per
+// requested pair before giving up (degenerate clusters could otherwise loop
+// forever).
+const sampleAttemptFactor = 50
+
+// run executes the CLI against explicit streams and returns the process
+// exit code — the testable core of the command.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("percolate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		n      = flag.Int("n", 64, "lattice side")
-		p      = flag.Float64("p", 0.6, "site-open probability")
-		trials = flag.Int("trials", 400, "Monte-Carlo trials")
-		seed   = flag.Uint64("seed", 1, "random seed")
-		doPc   = flag.Bool("pc", false, "estimate p_c by bisection")
-		chem   = flag.Bool("chem", false, "measure chemical-distance ratios at p")
-		route  = flag.Bool("route", false, "run x–y routing trials at p")
-		draw   = flag.Bool("draw", false, "render one configuration")
+		n      = fs.Int("n", 64, "lattice side")
+		p      = fs.Float64("p", 0.6, "site-open probability")
+		trials = fs.Int("trials", 400, "Monte-Carlo trials / measured pairs")
+		seed   = fs.Uint64("seed", 1, "random seed")
+		doPc   = fs.Bool("pc", false, "estimate p_c by bisection")
+		chem   = fs.Bool("chem", false, "measure chemical-distance ratios at p")
+		route  = fs.Bool("route", false, "run x–y routing trials at p")
+		draw   = fs.Bool("draw", false, "render one configuration")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	g := rng.New(rng.Seed(*seed))
 
 	switch {
 	case *doPc:
-		pc := lattice.EstimatePc(*n, *trials, 20, g)
-		fmt.Printf("p_c estimate on %dx%d (%d trials/step): %.4f (reference %.6f)\n",
-			*n, *n, *trials, pc, lattice.SitePcReference)
+		pc, ok := lattice.EstimatePc(*n, *trials, 20, g)
+		qual := ""
+		if !ok {
+			qual = " (bracket endpoint — crossing probability never straddled 1/2)"
+		}
+		fmt.Fprintf(stdout, "p_c estimate on %dx%d (%d trials/step): %.4f%s (reference %.6f)\n",
+			*n, *n, *trials, pc, qual, lattice.SitePcReference)
 	case *chem:
 		l := lattice.Sample(*n, *n, *p, g)
 		giant := l.LargestCluster()
 		if len(giant) < 10 {
-			fmt.Println("giant cluster too small — subcritical p?")
-			os.Exit(1)
+			fmt.Fprintln(stdout, "giant cluster too small — subcritical p?")
+			return 1
 		}
+		// Resample until *trials pairs pass the validity filter (distinct
+		// endpoints, lattice distance ≥ 4, chemically connected) instead of
+		// silently dropping rejects from a fixed draw count: the reported
+		// pair total is now the requested sample size, with the rejection
+		// rate surfaced via the attempts count.
 		var ratios []float64
-		for i := 0; i < *trials; i++ {
+		attempts := 0
+		for maxA := *trials * sampleAttemptFactor; len(ratios) < *trials && attempts < maxA; {
+			attempts++
 			a := giant[g.IntN(len(giant))]
 			b := giant[g.IntN(len(giant))]
 			ax, ay := l.XY(a)
@@ -64,17 +91,24 @@ func main() {
 			}
 		}
 		s := stats.Summarize(ratios)
-		fmt.Printf("chemical distance Dp/D at p=%.3f over %d pairs: %v\n", *p, s.N, s)
+		fmt.Fprintf(stdout, "chemical distance Dp/D at p=%.3f over %d pairs (%d measured, %d attempts): %v\n",
+			*p, *trials, s.N, attempts, s)
+		if s.N < *trials {
+			fmt.Fprintf(stdout, "warning: only %d/%d valid pairs within the attempt bound\n", s.N, *trials)
+		}
 	case *route:
 		l := lattice.Sample(*n, *n, *p, g)
 		giant := l.LargestCluster()
 		if len(giant) < 10 {
-			fmt.Println("giant cluster too small — subcritical p?")
-			os.Exit(1)
+			fmt.Fprintln(stdout, "giant cluster too small — subcritical p?")
+			return 1
 		}
+		// Same resampling discipline as -chem: keep drawing until *trials
+		// pairs with optimal distance ≥ 2 have been routed.
 		var ratios []float64
-		delivered := 0
-		for i := 0; i < *trials; i++ {
+		delivered, routed, attempts := 0, 0, 0
+		for maxA := *trials * sampleAttemptFactor; routed < *trials && attempts < maxA; {
+			attempts++
 			a := giant[g.IntN(len(giant))]
 			b := giant[g.IntN(len(giant))]
 			ax, ay := l.XY(a)
@@ -83,24 +117,29 @@ func main() {
 			if opt < 2 {
 				continue
 			}
+			routed++
 			res := routing.RouteXY(l, ax, ay, bx, by, 0)
 			if res.Delivered {
 				delivered++
 				ratios = append(ratios, float64(res.Probes)/float64(opt))
 			}
 		}
-		fmt.Printf("routing at p=%.3f: %d delivered, probes/optimal %v\n",
-			*p, delivered, stats.Summarize(ratios))
+		fmt.Fprintf(stdout, "routing at p=%.3f over %d pairs (%d attempts): %d delivered, probes/optimal %v\n",
+			*p, routed, attempts, delivered, stats.Summarize(ratios))
+		if routed < *trials {
+			fmt.Fprintf(stdout, "warning: only %d/%d valid pairs within the attempt bound\n", routed, *trials)
+		}
 	default:
 		cross := lattice.CrossingProbability(*n, *p, *trials, g)
 		theta := lattice.Theta(*n, *p, max(*trials/10, 5), g)
-		fmt.Printf("n=%d p=%.4f: P(crossing) = %v, θ ≈ %.4f\n", *n, *p, cross, theta.Mean)
+		fmt.Fprintf(stdout, "n=%d p=%.4f: P(crossing) = %v, θ ≈ %.4f\n", *n, *p, cross, theta.Mean)
 	}
 
 	if *draw {
 		l := lattice.Sample(*n, *n, *p, g)
-		fmt.Print(render(l))
+		fmt.Fprint(stdout, render(l))
 	}
+	return 0
 }
 
 func render(l *lattice.Lattice) string {
@@ -116,11 +155,4 @@ func render(l *lattice.Lattice) string {
 		b.WriteByte('\n')
 	}
 	return b.String()
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

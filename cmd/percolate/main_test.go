@@ -1,0 +1,99 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// runCLI executes run with captured output.
+func runCLI(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	var out, errb strings.Builder
+	code = run(args, &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+func TestDefaultCrossing(t *testing.T) {
+	out, _, code := runCLI(t, "-n", "24", "-p", "0.65", "-trials", "40", "-seed", "7")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "P(crossing)") || !strings.Contains(out, "θ") {
+		t.Errorf("output missing crossing/θ: %q", out)
+	}
+}
+
+func TestPcEstimate(t *testing.T) {
+	out, _, code := runCLI(t, "-pc", "-n", "24", "-trials", "30", "-seed", "7")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "p_c estimate") || !strings.Contains(out, "0.592746") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+// TestChemSamplesRequestedPairs pins the resampling fix: the reported pair
+// count equals -trials (rejected draws — close pairs, disconnected pairs —
+// are resampled, not silently dropped), and attempts ≥ measured.
+func TestChemSamplesRequestedPairs(t *testing.T) {
+	out, _, code := runCLI(t, "-chem", "-n", "48", "-p", "0.75", "-trials", "50", "-seed", "7")
+	if code != 0 {
+		t.Fatalf("exit %d: %q", code, out)
+	}
+	if !strings.Contains(out, "over 50 pairs (50 measured") {
+		t.Errorf("chem did not measure the requested pair count: %q", out)
+	}
+	if strings.Contains(out, "warning:") {
+		t.Errorf("unexpected attempt-bound warning: %q", out)
+	}
+}
+
+func TestRouteSamplesRequestedPairs(t *testing.T) {
+	out, _, code := runCLI(t, "-route", "-n", "48", "-p", "0.75", "-trials", "50", "-seed", "7")
+	if code != 0 {
+		t.Fatalf("exit %d: %q", code, out)
+	}
+	if !strings.Contains(out, "over 50 pairs") || !strings.Contains(out, "delivered") {
+		t.Errorf("route output = %q", out)
+	}
+	// On the giant cluster every valid pair routes successfully.
+	if !strings.Contains(out, "50 delivered") {
+		t.Errorf("expected all 50 pairs delivered: %q", out)
+	}
+}
+
+// TestSubcriticalExit covers the subcritical-p failure path: tiny giant
+// cluster → diagnostic + exit 1 for both measurement modes.
+func TestSubcriticalExit(t *testing.T) {
+	for _, mode := range []string{"-chem", "-route"} {
+		out, _, code := runCLI(t, mode, "-n", "24", "-p", "0.1", "-trials", "10", "-seed", "7")
+		if code != 1 {
+			t.Errorf("%s: exit %d, want 1", mode, code)
+		}
+		if !strings.Contains(out, "subcritical") {
+			t.Errorf("%s: output = %q", mode, out)
+		}
+	}
+}
+
+func TestDrawRendersLattice(t *testing.T) {
+	out, _, code := runCLI(t, "-draw", "-n", "8", "-p", "0.5", "-trials", "5", "-seed", "7")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	grid := lines[len(lines)-8:]
+	for _, l := range grid {
+		if len(l) != 8 || strings.Trim(l, "#.") != "" {
+			t.Fatalf("bad render line %q in %q", l, out)
+		}
+	}
+}
+
+func TestBadFlagExitsTwo(t *testing.T) {
+	_, errOut, code := runCLI(t, "-definitely-not-a-flag")
+	if code != 2 || !strings.Contains(errOut, "flag") {
+		t.Errorf("bad flag: exit %d, stderr %q", code, errOut)
+	}
+}

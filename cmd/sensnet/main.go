@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -21,45 +22,65 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// udgSpecFor maps the -mode flag to its geometry spec.
+func udgSpecFor(mode string) (sensnet.UDGSpec, error) {
+	switch mode {
+	case "literal":
+		return sensnet.PaperUDGSpec(), nil
+	case "repaired":
+		return sensnet.DefaultUDGSpec(), nil
+	case "relaxed":
+		return sensnet.RelaxedUDGSpec(), nil
+	}
+	return sensnet.UDGSpec{}, fmt.Errorf("unknown -mode %q", mode)
+}
+
+// run executes the CLI against explicit streams and returns the process
+// exit code — the testable core of the command.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sensnet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		kind    = flag.String("kind", "udg", "construction: udg | nn")
-		mode    = flag.String("mode", "repaired", "UDG geometry: literal | repaired | relaxed")
-		lambda  = flag.Float64("lambda", 16, "Poisson intensity (udg; nn uses λ=1)")
-		side    = flag.Float64("side", 30, "deployment box side (udg)")
-		k       = flag.Int("k", 188, "NN parameter k")
-		a       = flag.Float64("a", 0.893, "NN tile scale a (tile side = 10a)")
-		tiles   = flag.Int("tiles", 5, "NN: box side in tiles")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		asJSON  = flag.Bool("json", false, "emit JSON summary")
-		render  = flag.Bool("render", false, "render the tile map (good/bad) as ASCII")
-		tilefig = flag.Bool("tilefig", false, "render the tile region layout (paper Fig. 3 / Fig. 5) and exit")
+		kind    = fs.String("kind", "udg", "construction: udg | nn")
+		mode    = fs.String("mode", "repaired", "UDG geometry: literal | repaired | relaxed")
+		lambda  = fs.Float64("lambda", 16, "Poisson intensity (udg; nn uses λ=1)")
+		side    = fs.Float64("side", 30, "deployment box side (udg)")
+		k       = fs.Int("k", 188, "NN parameter k")
+		a       = fs.Float64("a", 0.893, "NN tile scale a (tile side = 10a)")
+		tiles   = fs.Int("tiles", 5, "NN: box side in tiles")
+		seed    = fs.Uint64("seed", 1, "random seed")
+		asJSON  = fs.Bool("json", false, "emit JSON summary")
+		render  = fs.Bool("render", false, "render the tile map (good/bad) as ASCII")
+		tilefig = fs.Bool("tilefig", false, "render the tile region layout (paper Fig. 3 / Fig. 5) and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, "sensnet: "+format+"\n", args...)
+		return 1
+	}
 
 	if *tilefig {
 		switch *kind {
 		case "udg":
-			var spec sensnet.UDGSpec
-			switch *mode {
-			case "literal":
-				spec = sensnet.PaperUDGSpec()
-			case "repaired":
-				spec = sensnet.DefaultUDGSpec()
-			case "relaxed":
-				spec = sensnet.RelaxedUDGSpec()
-			default:
-				fatalf("unknown -mode %q", *mode)
+			spec, err := udgSpecFor(*mode)
+			if err != nil {
+				return fail("%v", err)
 			}
-			fmt.Printf("UDG-SENS tile (%s geometry, paper Fig. 3): C=C0, r/l/t/b=relay regions\n\n", *mode)
-			fmt.Print(tiling.RenderUDGTile(spec, 64))
+			fmt.Fprintf(stdout, "UDG-SENS tile (%s geometry, paper Fig. 3): C=C0, r/l/t/b=relay regions\n\n", *mode)
+			fmt.Fprint(stdout, tiling.RenderUDGTile(spec, 64))
 		case "nn":
 			spec := sensnet.NNSpec{A: *a, K: *k}
-			fmt.Printf("NN-SENS tile (a=%v, paper Fig. 5): C=C0, R/L/T/B=outer disks, r/l/t/b=bridges\n\n", *a)
-			fmt.Print(tiling.RenderNNTile(spec.Compile(), 72))
+			fmt.Fprintf(stdout, "NN-SENS tile (a=%v, paper Fig. 5): C=C0, R/L/T/B=outer disks, r/l/t/b=bridges\n\n", *a)
+			fmt.Fprint(stdout, tiling.RenderNNTile(spec.Compile(), 72))
 		default:
-			fatalf("unknown -kind %q", *kind)
+			return fail("unknown -kind %q", *kind)
 		}
-		return
+		return 0
 	}
 
 	var (
@@ -68,16 +89,9 @@ func main() {
 	)
 	switch *kind {
 	case "udg":
-		var spec sensnet.UDGSpec
-		switch *mode {
-		case "literal":
-			spec = sensnet.PaperUDGSpec()
-		case "repaired":
-			spec = sensnet.DefaultUDGSpec()
-		case "relaxed":
-			spec = sensnet.RelaxedUDGSpec()
-		default:
-			fatalf("unknown -mode %q", *mode)
+		spec, serr := udgSpecFor(*mode)
+		if serr != nil {
+			return fail("%v", serr)
 		}
 		box := sensnet.Box(*side, *side)
 		pts := sensnet.Deploy(box, *lambda, sensnet.Seed(*seed))
@@ -89,26 +103,24 @@ func main() {
 		pts := sensnet.Deploy(box, 1, sensnet.Seed(*seed))
 		net, err = sensnet.BuildNNSens(pts, box, spec, sensnet.Options{})
 	default:
-		fatalf("unknown -kind %q", *kind)
+		return fail("unknown -kind %q", *kind)
 	}
 	if err != nil {
-		fatalf("build: %v", err)
+		return fail("build: %v", err)
 	}
 
 	if *asJSON {
-		emitJSON(net)
+		if err := emitJSON(stdout, net); err != nil {
+			return fail("encode: %v", err)
+		}
 	} else {
-		emitText(net)
+		emitText(stdout, net)
 	}
 	if *render {
-		fmt.Println()
-		fmt.Print(renderTiles(net))
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, renderTiles(net))
 	}
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "sensnet: "+format+"\n", args...)
-	os.Exit(1)
+	return 0
 }
 
 type summary struct {
@@ -145,26 +157,24 @@ func summarize(net *sensnet.Network) summary {
 	}
 }
 
-func emitJSON(net *sensnet.Network) {
-	enc := json.NewEncoder(os.Stdout)
+func emitJSON(w io.Writer, net *sensnet.Network) error {
+	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(summarize(net)); err != nil {
-		fatalf("encode: %v", err)
-	}
+	return enc.Encode(summarize(net))
 }
 
-func emitText(net *sensnet.Network) {
+func emitText(w io.Writer, net *sensnet.Network) {
 	s := summarize(net)
-	fmt.Printf("%s\n", net)
-	fmt.Printf("  deployment:        %d points\n", s.Points)
-	fmt.Printf("  tiles:             %d (%d good, %.1f%%)\n", s.Tiles, s.GoodTiles, 100*s.GoodFraction)
-	fmt.Printf("  network members:   %d (%.1f%% of deployment)\n", s.Members, 100*s.ActiveFraction)
-	fmt.Printf("  edges:             %d\n", s.Edges)
-	fmt.Printf("  max degree:        %d (P1 bound: 4)\n", s.MaxDegree)
-	fmt.Printf("  degree histogram:  %v\n", s.DegreeHistogram)
-	fmt.Printf("  election cost:     %d messages, %d rounds (P4)\n", s.ElectionMessages, s.ElectionRounds)
+	fmt.Fprintf(w, "%s\n", net)
+	fmt.Fprintf(w, "  deployment:        %d points\n", s.Points)
+	fmt.Fprintf(w, "  tiles:             %d (%d good, %.1f%%)\n", s.Tiles, s.GoodTiles, 100*s.GoodFraction)
+	fmt.Fprintf(w, "  network members:   %d (%.1f%% of deployment)\n", s.Members, 100*s.ActiveFraction)
+	fmt.Fprintf(w, "  edges:             %d\n", s.Edges)
+	fmt.Fprintf(w, "  max degree:        %d (P1 bound: 4)\n", s.MaxDegree)
+	fmt.Fprintf(w, "  degree histogram:  %v\n", s.DegreeHistogram)
+	fmt.Fprintf(w, "  election cost:     %d messages, %d rounds (P4)\n", s.ElectionMessages, s.ElectionRounds)
 	if s.HandshakeFails > 0 {
-		fmt.Printf("  handshake fails:   %d (relaxed mode)\n", s.HandshakeFails)
+		fmt.Fprintf(w, "  handshake fails:   %d (relaxed mode)\n", s.HandshakeFails)
 	}
 }
 

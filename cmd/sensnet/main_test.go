@@ -1,0 +1,123 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// runCLI executes run with captured output.
+func runCLI(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	var out, errb strings.Builder
+	code = run(args, &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+func TestUDGTextSummary(t *testing.T) {
+	out, _, code := runCLI(t, "-kind", "udg", "-side", "14", "-lambda", "16", "-seed", "3")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"UDG-SENS", "deployment:", "network members:",
+		"max degree:", "P1 bound: 4", "election cost:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNNTextSummary(t *testing.T) {
+	out, _, code := runCLI(t, "-kind", "nn", "-tiles", "3", "-seed", "2")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "NN-SENS") || !strings.Contains(out, "tiles:") {
+		t.Errorf("NN summary wrong:\n%s", out)
+	}
+}
+
+// TestJSONShape pins the -json output: valid JSON with the documented
+// fields and consistent values.
+func TestJSONShape(t *testing.T) {
+	out, _, code := runCLI(t, "-kind", "udg", "-side", "14", "-json", "-seed", "3")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	var s summary
+	if err := json.Unmarshal([]byte(out), &s); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if s.Kind != "UDG-SENS" || s.Points == 0 || s.Tiles == 0 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.GoodTiles > s.Tiles || s.Members > s.Points {
+		t.Errorf("inconsistent counts: %+v", s)
+	}
+	if s.MaxDegree > 4 {
+		t.Errorf("max degree %d violates P1", s.MaxDegree)
+	}
+	// The histogram is indexed by degree and must cover MaxDegree.
+	if len(s.DegreeHistogram) < s.MaxDegree+1 {
+		t.Errorf("degree histogram %v shorter than max degree %d",
+			s.DegreeHistogram, s.MaxDegree)
+	}
+	// Field names are part of the CLI contract.
+	for _, field := range []string{`"kind"`, `"points"`, `"goodFraction"`,
+		`"activeFraction"`, `"electionMessages"`, `"degreeHistogram"`} {
+		if !strings.Contains(out, field) {
+			t.Errorf("JSON missing field %s:\n%s", field, out)
+		}
+	}
+}
+
+func TestRenderTileMap(t *testing.T) {
+	out, _, code := runCLI(t, "-kind", "udg", "-side", "14", "-render", "-seed", "3")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "tile map") || !strings.ContainsAny(out, "#.") {
+		t.Errorf("render output wrong:\n%s", out)
+	}
+}
+
+func TestTilefigBothKinds(t *testing.T) {
+	for _, kind := range []string{"udg", "nn"} {
+		out, _, code := runCLI(t, "-tilefig", "-kind", kind)
+		if code != 0 {
+			t.Fatalf("%s: exit %d", kind, code)
+		}
+		if !strings.Contains(out, "tile") || !strings.Contains(out, "C") {
+			t.Errorf("%s tilefig output wrong:\n%s", kind, out)
+		}
+	}
+}
+
+func TestLiteralModeStillBuilds(t *testing.T) {
+	// The literal geometry has empty relay regions (the documented negative
+	// result) but the build itself must succeed.
+	out, _, code := runCLI(t, "-kind", "udg", "-mode", "literal", "-side", "12", "-seed", "3")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	cases := [][]string{
+		{"-kind", "marble"},
+		{"-kind", "udg", "-mode", "cubist"},
+		{"-tilefig", "-kind", "marble"},
+	}
+	for _, args := range cases {
+		_, errOut, code := runCLI(t, args...)
+		if code != 1 {
+			t.Errorf("%v: exit %d, want 1", args, code)
+		}
+		if !strings.Contains(errOut, "unknown") {
+			t.Errorf("%v: stderr %q", args, errOut)
+		}
+	}
+	if _, _, code := runCLI(t, "-no-such-flag"); code != 2 {
+		t.Errorf("bad flag should exit 2")
+	}
+}

@@ -1,0 +1,570 @@
+package energy
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+)
+
+// Spec configures a lifetime simulation.
+type Spec struct {
+	// Model prices every debit.
+	Model Model
+	// Capacity is the initial charge of every battery-powered node.
+	Capacity float64
+	// PacketBits is the payload size of one sensor report.
+	PacketBits float64
+	// Rate is the expected number of reports per source per round. The
+	// integer part sends unconditionally; the fractional part is a Bernoulli
+	// draw, so Rate 0.5 means each source reports every other round on
+	// average and Rate 2 means two reports every round.
+	Rate float64
+	// MaxRounds caps the simulation (≤ 0 means 4096).
+	MaxRounds int
+	// CoverageTarget is the served-fraction level defining CoverageLifetime
+	// (≤ 0 means 0.5): a round counts as covered while at least this
+	// fraction of the original sources is alive with a live route to a sink.
+	CoverageTarget float64
+	// Rotation enables member rotation, the paper's expendable-members
+	// story: when a role's battery empties and it has spares left, a
+	// co-located standby node with a fresh battery takes the role over
+	// instead of the role dying.
+	Rotation bool
+	// Spares gives each node's standby pool size (indexed like the position
+	// slice); nil means no spares anywhere. Only consulted when Rotation is
+	// set.
+	Spares []int
+}
+
+// DefaultSpec returns the reference lifetime configuration used by the Q**
+// scenarios: the default radio model, unit packets at rate 1/2, and a
+// battery sized so that mid-size member graphs live for a few hundred
+// rounds.
+func DefaultSpec() Spec {
+	return Spec{
+		Model:      DefaultModel(),
+		Capacity:   2000,
+		PacketBits: 1,
+		Rate:       0.5,
+		MaxRounds:  2000,
+	}
+}
+
+// Report is the outcome of a lifetime simulation. Curves are indexed by
+// round (starting at round 1) and truncated at Rounds.
+type Report struct {
+	// Rounds is the number of simulated rounds.
+	Rounds int
+	// FirstDeath is the round of the first permanent role death (time to
+	// first death, the classical lifetime metric), or −1 if nothing died.
+	FirstDeath int
+	// CoverageLifetime counts the rounds before the served fraction first
+	// fell below the coverage target — the QoS lifetime.
+	CoverageLifetime int
+	// Attempted, Delivered and Dropped count report packets over the whole
+	// run; Dropped are reports by sources with no live route to any sink.
+	Attempted, Delivered, Dropped int
+	// Rotations counts spare take-overs (0 unless Spec.Rotation).
+	Rotations int
+	// Alive holds the per-round fraction of battery-powered roles still
+	// alive.
+	Alive []float64
+	// Largest holds the per-round largest-surviving-component fraction over
+	// all participants.
+	Largest []float64
+	// Served holds the per-round fraction of original sources alive with a
+	// route to a sink.
+	Served []float64
+	// ResidualMean, ResidualMin and ResidualSpread summarize the residual
+	// energy fraction of every role at the end of the run (spares included:
+	// a role's budget is (1+spares)·Capacity under rotation). Spread is the
+	// population standard deviation — the evenness-of-consumption metric.
+	ResidualMean, ResidualMin, ResidualSpread float64
+	// SpreadAtFirstDeath is the residual spread captured the round the first
+	// role died (NaN if nothing died): low spread means consumption was
+	// distributed evenly up to the first loss.
+	SpreadAtFirstDeath float64
+	// TotalSpent is the total energy demanded of all batteries.
+	TotalSpent float64
+}
+
+// AliveAtEnd returns the final alive fraction (1 if no rounds ran).
+func (r *Report) AliveAtEnd() float64 {
+	if len(r.Alive) == 0 {
+		return 1
+	}
+	return r.Alive[len(r.Alive)-1]
+}
+
+// LargestAtEnd returns the final largest-component fraction (1 if no rounds
+// ran).
+func (r *Report) LargestAtEnd() float64 {
+	if len(r.Largest) == 0 {
+		return 1
+	}
+	return r.Largest[len(r.Largest)-1]
+}
+
+// DeliveryRatio returns Delivered / Attempted (1 if nothing was attempted).
+func (r *Report) DeliveryRatio() float64 {
+	if r.Attempted == 0 {
+		return 1
+	}
+	return float64(r.Delivered) / float64(r.Attempted)
+}
+
+// SimulateLifetime runs the round-based data-gathering simulation on the
+// structure: every round each alive source reports Spec.Rate packets on
+// average toward its nearest sink along hop-shortest paths, each hop
+// debiting the sender's tx cost (PacketBits·(c + d^β)) and the receiver's
+// rx cost; every powered node pays the idle drain; batteries that empty die
+// at the round boundary (or rotate in a spare), and routes are recomputed
+// whenever the alive set changes. nodes lists the participating vertices
+// (nil means all of g); sinks are the data collectors, modeled as
+// mains-powered (no battery). The simulation is fully serial and
+// deterministic in the generator: the same seed gives the same report at
+// any GOMAXPROCS.
+//
+// Relays that run dry mid-round keep forwarding until the round boundary —
+// batteries clamp at empty and the node dies at end of round — so within a
+// round the traffic pattern depends only on the alive set at the round
+// start, not on the order sources are drained in.
+func SimulateLifetime(g *graph.CSR, pos []geom.Point, nodes, sinks []int32,
+	spec Spec, rng *rand.Rand) (*Report, error) {
+	s, err := newSim(g, pos, nodes, sinks, spec)
+	if err != nil {
+		return nil, err
+	}
+	for s.step(rng) {
+	}
+	return s.report(), nil
+}
+
+// sim is the preallocated simulation state: after newSim, rounds in which
+// nothing dies allocate nothing (the allocation gate in lifetime_test.go
+// pins this), and rounds with deaths allocate only inside the
+// largest-component recount.
+type sim struct {
+	g     *graph.CSR
+	pos   []geom.Point
+	spec  Spec
+	nodes []int32 // participants (sinks included)
+
+	isSink  []bool
+	powered []bool // battery-powered participant (participant and not sink)
+	alive   []bool
+	spares  []int32 // remaining spare take-overs per node
+	bats    []Battery
+
+	// Routing state: per-node uplink toward the nearest alive sink.
+	next     []int32   // parent toward sink; −1 = no route
+	nextCost []float64 // tx cost of one PacketBits packet along the uplink
+	queue    []int32
+	dirty    bool // alive set changed since the last route build
+
+	nPowered    int // battery-powered roles
+	nAlive      int // alive battery-powered roles
+	largestFrac float64
+
+	round                         int
+	firstDeath                    int
+	rotations                     int
+	attempted, delivered, dropped int
+	spreadAtFirstDeath            float64
+
+	aliveCurve, largestCurve, servedCurve []float64
+
+	rxCost   float64
+	maxHops  int
+	coverage float64 // target
+	ended    bool
+}
+
+func newSim(g *graph.CSR, pos []geom.Point, nodes, sinks []int32, spec Spec) (*sim, error) {
+	if g.N != len(pos) {
+		return nil, errors.New("energy: graph and position counts differ")
+	}
+	if len(sinks) == 0 {
+		return nil, errors.New("energy: need at least one sink")
+	}
+	if spec.Capacity <= 0 {
+		return nil, errors.New("energy: battery capacity must be positive")
+	}
+	if spec.PacketBits <= 0 {
+		return nil, errors.New("energy: packet size must be positive")
+	}
+	if spec.Rate < 0 {
+		return nil, errors.New("energy: negative report rate")
+	}
+	if spec.MaxRounds <= 0 {
+		spec.MaxRounds = 4096
+	}
+	if spec.CoverageTarget <= 0 {
+		spec.CoverageTarget = 0.5
+	}
+	if nodes == nil {
+		nodes = make([]int32, g.N)
+		for i := range nodes {
+			nodes[i] = int32(i)
+		}
+	}
+	s := &sim{
+		g: g, pos: pos, spec: spec, nodes: nodes,
+		isSink:             make([]bool, g.N),
+		powered:            make([]bool, g.N),
+		alive:              make([]bool, g.N),
+		spares:             make([]int32, g.N),
+		bats:               make([]Battery, g.N),
+		next:               make([]int32, g.N),
+		nextCost:           make([]float64, g.N),
+		firstDeath:         -1,
+		spreadAtFirstDeath: math.NaN(),
+		rxCost:             spec.Model.RxCost(spec.PacketBits),
+		maxHops:            g.N + 1,
+		coverage:           spec.CoverageTarget,
+	}
+	inNodes := make([]bool, g.N)
+	for _, v := range nodes {
+		inNodes[v] = true
+	}
+	for _, v := range sinks {
+		if v < 0 || int(v) >= g.N || !inNodes[v] {
+			return nil, errors.New("energy: sink outside the participant set")
+		}
+		s.isSink[v] = true
+	}
+	for _, v := range nodes {
+		s.alive[v] = true
+		if !s.isSink[v] {
+			s.powered[v] = true
+			s.nPowered++
+			s.bats[v] = NewBattery(spec.Capacity)
+			if spec.Rotation && spec.Spares != nil {
+				s.spares[v] = int32(spec.Spares[v])
+			}
+		}
+	}
+	if s.nPowered == 0 {
+		return nil, errors.New("energy: no battery-powered nodes to simulate")
+	}
+	s.nAlive = s.nPowered
+	s.aliveCurve = make([]float64, 0, spec.MaxRounds)
+	s.largestCurve = make([]float64, 0, spec.MaxRounds)
+	s.servedCurve = make([]float64, 0, spec.MaxRounds)
+	s.dirty = true
+	return s, nil
+}
+
+// rebuildRoutes recomputes the uplink forest by a multi-source BFS from the
+// sinks over the alive participant subgraph: next[u] is u's parent toward
+// its nearest sink, nextCost[u] the precomputed tx cost of forwarding one
+// packet along that edge (symmetric in the endpoints, so the parent-side
+// edge scan prices the child's uplink).
+func (s *sim) rebuildRoutes() {
+	m := s.spec.Model
+	bits := s.spec.PacketBits
+	for _, v := range s.nodes {
+		s.next[v] = -1
+	}
+	q := s.queue[:0]
+	for _, v := range s.nodes {
+		if s.isSink[v] {
+			s.next[v] = v
+			q = append(q, v)
+		}
+	}
+	for head := 0; head < len(q); head++ {
+		u := q[head]
+		for _, v := range s.g.Neighbors(u) {
+			if !s.alive[v] || s.next[v] >= 0 {
+				continue
+			}
+			s.next[v] = u
+			s.nextCost[v] = m.TxCost(bits, s.pos[u].Dist(s.pos[v]))
+			q = append(q, v)
+		}
+	}
+	s.queue = q
+	s.dirty = false
+}
+
+// served returns the fraction of original (powered) sources currently alive
+// with a route to a sink.
+func (s *sim) served() float64 {
+	n := 0
+	for _, v := range s.nodes {
+		if s.powered[v] && s.alive[v] && s.next[v] >= 0 {
+			n++
+		}
+	}
+	return float64(n) / float64(s.nPowered)
+}
+
+// step simulates one round; it returns false once the simulation is over
+// (round cap, total death, or no source can reach a sink anymore).
+func (s *sim) step(rng *rand.Rand) bool {
+	if s.ended || s.round >= s.spec.MaxRounds {
+		return false
+	}
+	if s.dirty {
+		s.rebuildRoutes()
+	}
+	srv := s.served()
+	if srv == 0 {
+		// Routing-dead: no source can reach a sink; further rounds would only
+		// replay the idle drain.
+		s.ended = true
+		return false
+	}
+	s.round++
+
+	// Traffic: serial over sources in index order, all randomness from the
+	// one generator — deterministic at any GOMAXPROCS.
+	for _, u := range s.nodes {
+		if !s.powered[u] || !s.alive[u] {
+			continue
+		}
+		reports := int(s.spec.Rate)
+		if frac := s.spec.Rate - float64(reports); frac > 0 && rng.Float64() < frac {
+			reports++
+		}
+		for r := 0; r < reports; r++ {
+			s.attempted++
+			if s.next[u] < 0 {
+				s.dropped++
+				continue
+			}
+			v := u
+			for hops := 0; !s.isSink[v] && hops < s.maxHops; hops++ {
+				w := s.next[v]
+				s.bats[v].Drain(s.nextCost[v])
+				if s.powered[w] {
+					s.bats[w].Drain(s.rxCost)
+				}
+				v = w
+			}
+			s.delivered++
+		}
+	}
+
+	// Idle drain, then the round-boundary death/rotation scan.
+	idle := s.spec.Model.Idle
+	deaths := 0
+	for _, u := range s.nodes {
+		if !s.powered[u] || !s.alive[u] {
+			continue
+		}
+		if idle > 0 {
+			s.bats[u].Drain(idle)
+		}
+		if !s.bats[u].Dead() {
+			continue
+		}
+		if s.spec.Rotation && s.spares[u] > 0 {
+			// A standby neighbor with a fresh battery takes the role over.
+			s.spares[u]--
+			s.rotations++
+			spent := s.bats[u].Spent
+			s.bats[u] = NewBattery(s.spec.Capacity)
+			s.bats[u].Spent = spent
+			continue
+		}
+		s.alive[u] = false
+		s.nAlive--
+		deaths++
+	}
+	if deaths > 0 {
+		s.dirty = true
+		if s.firstDeath < 0 {
+			s.firstDeath = s.round
+			s.spreadAtFirstDeath = s.residualSpread()
+		}
+		s.largestFrac = float64(graph.LargestComponentWhere(s.g, s.nodes,
+			func(u int32) bool { return s.alive[u] })) / float64(len(s.nodes))
+	} else if s.round == 1 {
+		s.largestFrac = float64(graph.LargestComponentWhere(s.g, s.nodes,
+			func(u int32) bool { return s.alive[u] })) / float64(len(s.nodes))
+	}
+
+	s.aliveCurve = append(s.aliveCurve, float64(s.nAlive)/float64(s.nPowered))
+	s.largestCurve = append(s.largestCurve, s.largestFrac)
+	s.servedCurve = append(s.servedCurve, srv)
+	if s.nAlive == 0 {
+		s.ended = true
+	}
+	return !s.ended
+}
+
+// residual returns role u's remaining energy fraction: current charge plus
+// unused spare batteries over the role's total budget.
+func (s *sim) residual(u int32) float64 {
+	budget := s.spec.Capacity
+	if s.spec.Rotation && s.spec.Spares != nil {
+		budget *= float64(1 + s.spec.Spares[u])
+	}
+	return (s.bats[u].Charge + float64(s.spares[u])*s.spec.Capacity) / budget
+}
+
+// residualSpread returns the population standard deviation of the residual
+// fractions over all powered roles.
+func (s *sim) residualSpread() float64 {
+	var sum, sumsq float64
+	for _, u := range s.nodes {
+		if !s.powered[u] {
+			continue
+		}
+		r := s.residual(u)
+		sum += r
+		sumsq += r * r
+	}
+	n := float64(s.nPowered)
+	mean := sum / n
+	v := sumsq/n - mean*mean
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+func (s *sim) report() *Report {
+	rep := &Report{
+		Rounds:             s.round,
+		FirstDeath:         s.firstDeath,
+		Attempted:          s.attempted,
+		Delivered:          s.delivered,
+		Dropped:            s.dropped,
+		Rotations:          s.rotations,
+		Alive:              s.aliveCurve,
+		Largest:            s.largestCurve,
+		Served:             s.servedCurve,
+		SpreadAtFirstDeath: s.spreadAtFirstDeath,
+	}
+	rep.CoverageLifetime = s.round
+	for i, f := range s.servedCurve {
+		if f < s.coverage {
+			rep.CoverageLifetime = i
+			break
+		}
+	}
+	var sum float64
+	min := math.Inf(1)
+	for _, u := range s.nodes {
+		if !s.powered[u] {
+			continue
+		}
+		r := s.residual(u)
+		sum += r
+		if r < min {
+			min = r
+		}
+	}
+	rep.ResidualMean = sum / float64(s.nPowered)
+	rep.ResidualMin = min
+	rep.ResidualSpread = s.residualSpread()
+	for _, u := range s.nodes {
+		if s.powered[u] {
+			rep.TotalSpent += s.bats[u].Spent
+		}
+	}
+	return rep
+}
+
+// UniformSpares builds the uniform spare allocation the SENS expendable-
+// members story implies: total deployed nodes minus active members, divided
+// evenly over the members. It returns a per-node slice (indexed 0..n-1,
+// nonzero only at members) for Spec.Spares, or nil when there is nothing to
+// spare.
+func UniformSpares(n int, members []int32) []int {
+	if len(members) == 0 || n <= len(members) {
+		return nil
+	}
+	per := (n - len(members)) / len(members)
+	if per == 0 {
+		return nil
+	}
+	out := make([]int, n)
+	for _, v := range members {
+		out[v] = per
+	}
+	return out
+}
+
+// QuadrantSinks returns up to four distinct participants, each nearest the
+// centroid of one quadrant of the participants' bounding box — the
+// deterministic multi-gateway choice the Q** scenarios use. Spreading the
+// gateways breaks the single-funnel energy hole a lone central sink
+// creates (every packet squeezing through its ≤ 4 neighbors under the
+// degree bound P1). nodes nil means all vertices.
+func QuadrantSinks(pos []geom.Point, nodes []int32) []int32 {
+	if nodes == nil {
+		nodes = make([]int32, len(pos))
+		for i := range nodes {
+			nodes[i] = int32(i)
+		}
+	}
+	if len(nodes) == 0 {
+		return nil
+	}
+	lo := geom.Pt(math.Inf(1), math.Inf(1))
+	hi := geom.Pt(math.Inf(-1), math.Inf(-1))
+	for _, v := range nodes {
+		lo.X = math.Min(lo.X, pos[v].X)
+		lo.Y = math.Min(lo.Y, pos[v].Y)
+		hi.X = math.Max(hi.X, pos[v].X)
+		hi.Y = math.Max(hi.Y, pos[v].Y)
+	}
+	var sinks []int32
+	for _, fx := range [2]float64{0.25, 0.75} {
+		for _, fy := range [2]float64{0.25, 0.75} {
+			c := geom.Pt(lo.X+fx*(hi.X-lo.X), lo.Y+fy*(hi.Y-lo.Y))
+			best, bestD := int32(-1), math.Inf(1)
+			for _, v := range nodes {
+				if d := pos[v].Dist(c); d < bestD {
+					best, bestD = v, d
+				}
+			}
+			dup := false
+			for _, s := range sinks {
+				if s == best {
+					dup = true
+				}
+			}
+			if !dup {
+				sinks = append(sinks, best)
+			}
+		}
+	}
+	return sinks
+}
+
+// NearestSink returns the participant nearest the centroid of the
+// participant positions — the deterministic single-gateway choice (a
+// gateway in the middle of the field) — or −1 for an empty participant
+// set. nodes nil means all vertices.
+func NearestSink(pos []geom.Point, nodes []int32) int32 {
+	if nodes == nil {
+		nodes = make([]int32, len(pos))
+		for i := range nodes {
+			nodes[i] = int32(i)
+		}
+	}
+	if len(nodes) == 0 {
+		return -1
+	}
+	var cx, cy float64
+	for _, v := range nodes {
+		cx += pos[v].X
+		cy += pos[v].Y
+	}
+	c := geom.Pt(cx/float64(len(nodes)), cy/float64(len(nodes)))
+	best, bestD := nodes[0], math.Inf(1)
+	for _, v := range nodes {
+		if d := pos[v].Dist(c); d < bestD {
+			best, bestD = v, d
+		}
+	}
+	return best
+}

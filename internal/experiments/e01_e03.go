@@ -132,10 +132,16 @@ func e02SitePc(ctx *scenario.Ctx) *Table {
 			"["+f4(c.result.Low95)+", "+f4(c.result.High95)+"]")
 	}
 	g := rng.Sub(cfg.Seed, 2)
-	pc := lattice.EstimatePc(48, cfg.Trials(150, 40), 18, g)
-	t.AddNote("bisection estimate on 48×48: p_c ≈ %s (reference %.6g); crossing "+
+	pc, ok := lattice.EstimatePc(48, cfg.Trials(150, 40), 18, g)
+	qual := ""
+	if !ok {
+		// The bracket did not straddle 1/2: pc is an endpoint bound, not a
+		// located crossing (cannot happen at this box size in practice).
+		qual = " (bracket endpoint — no crossing located)"
+	}
+	t.AddNote("bisection estimate on 48×48: p_c ≈ %s%s (reference %.6g); crossing "+
 		"probability sharpens around p_c as the box grows — the phase transition "+
-		"the tile coupling rides on", f4(pc), lattice.SitePcReference)
+		"the tile coupling rides on", f4(pc), qual, lattice.SitePcReference)
 	return t
 }
 

@@ -68,6 +68,7 @@ func init() {
 	registerE15E16()
 	registerE17E18()
 	registerHNG()
+	registerEnergy()
 	for _, s := range scenario.All() {
 		run := s.Run
 		All = append(All, Runner{ID: s.ID, Title: s.Title, Run: func(cfg Config) *Table {

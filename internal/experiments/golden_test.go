@@ -36,6 +36,25 @@ func TestScenarioTablesMatchPreRefactorGolden(t *testing.T) {
 	if len(scenario.All()) != len(All) {
 		t.Fatalf("registry has %d scenarios, runner shim has %d", len(scenario.All()), len(All))
 	}
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		// Regeneration mode: write testdata/golden_<ID>.txt for every
+		// registered scenario and fail, so a forgotten env var can't turn the
+		// gate green vacuously. Existing goldens must come out byte-identical
+		// (they are pinned by normal runs); only genuinely new scenarios gain
+		// files.
+		eng := scenario.NewEngine(nil)
+		tables, err := eng.RunAll(goldenCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tab := range tables {
+			p := filepath.Join("testdata", "golden_"+tab.ID+".txt")
+			if err := os.WriteFile(p, []byte(tab.String()), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		t.Fatalf("UPDATE_GOLDEN: regenerated %d golden tables; rerun without the env var", len(tables))
+	}
 	for _, gmp := range []int{8, 1} {
 		prev := runtime.GOMAXPROCS(gmp)
 		eng := scenario.NewEngine(nil)

@@ -68,6 +68,18 @@ func hngDeployment(ctx *scenario.Ctx) scenario.Deployment {
 	return ctx.Deploy(930, geom.Box(side, side), 16)
 }
 
+// nnDeployment pulls the λ=1 paper-parameter deployment the NN-side
+// comparisons run on (E10's stream 841 box, sized in PaperNNSpec tiles).
+// Every consumer — H02's baselines, the Q** lifetime scenarios — must come
+// through here: deployment sharing rides on the cache key, which this
+// single recipe keeps identical.
+func nnDeployment(ctx *scenario.Ctx) scenario.Deployment {
+	spec := tiling.PaperNNSpec()
+	tilesPerSide := int(ctx.Cfg.Size(5, 3))
+	side := float64(tilesPerSide) * spec.TileSide()
+	return ctx.Deploy(841, geom.Box(side, side), 1.0)
+}
+
 // h01Sweep sweeps the promotion probability p: how the hierarchy height,
 // level populations, degree profile and distance stretch respond to the
 // single parameter of the construction.
@@ -169,9 +181,7 @@ func h02Baselines(ctx *scenario.Ctx) *Table {
 	// NN family: E10's paper-parameter deployment (λ=1, k=188), its NN base
 	// and SENS network, and an HNG over the same points.
 	spec := tiling.PaperNNSpec()
-	tilesPerSide := int(cfg.Size(5, 3))
-	nnSide := float64(tilesPerSide) * spec.TileSide()
-	nnDep := ctx.Deploy(841, geom.Box(nnSide, nnSide), 1.0)
+	nnDep := nnDeployment(ctx)
 	nnBase := ctx.NN(nnDep, spec.K)
 	nnMembers, _ := graph.LargestComponent(nnBase.CSR)
 	entries = append(entries, entry{

@@ -324,4 +324,3 @@ func TestVerticesAndString(t *testing.T) {
 		t.Errorf("String() = %q", s)
 	}
 }
-

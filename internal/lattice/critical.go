@@ -25,7 +25,11 @@ func CrossingProbability(n int, p float64, trials int, rng *rand.Rand) stats.Pro
 // EstimatePc locates the p at which the n×n crossing probability equals 1/2
 // — a standard finite-size estimator for p_c that converges to 0.5927… as
 // n grows. trialsPerEval Monte-Carlo trials are run per bisection step.
-func EstimatePc(n, trialsPerEval, maxEval int, rng *rand.Rand) float64 {
+// ok is false when the crossing probability does not straddle 1/2 over the
+// [0.4, 0.8] bracket (possible for tiny boxes or trial counts, where the
+// empirical estimate at an endpoint lands on the wrong side); the returned
+// pc is then the nearer bracket endpoint, a bound rather than an estimate.
+func EstimatePc(n, trialsPerEval, maxEval int, rng *rand.Rand) (pc float64, ok bool) {
 	f := func(p float64) float64 {
 		return CrossingProbability(n, p, trialsPerEval, rng).P
 	}

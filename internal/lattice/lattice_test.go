@@ -214,7 +214,10 @@ func TestEstimatePcNearReference(t *testing.T) {
 		t.Skip("short mode")
 	}
 	g := rng.New(5)
-	pc := EstimatePc(48, 120, 16, g)
+	pc, ok := EstimatePc(48, 120, 16, g)
+	if !ok {
+		t.Fatal("crossing probability did not straddle 1/2 on [0.4, 0.8]")
+	}
 	// Finite-size estimate on a 48×48 box: allow a generous window.
 	if math.Abs(pc-SitePcReference) > 0.03 {
 		t.Errorf("estimated p_c = %v, reference %v", pc, SitePcReference)

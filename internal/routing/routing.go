@@ -30,6 +30,18 @@ type Result struct {
 	Trajectory []int32
 }
 
+// ChargeHooks receives the energy-bearing events of a routing attempt.
+// Implementations translate them into battery debits (energy.Bank behind
+// RouteOnSensWith) or plain accounting; a nil hook set costs nothing.
+type ChargeHooks interface {
+	// Probe fires once per charged site query: the node at site from asked
+	// whether site to is open. Memoized re-probes (Options.Memoize) fire no
+	// Probe, matching the free re-probe accounting of Result.Probes.
+	Probe(from, to int32)
+	// Hop fires once per lattice edge the packet traverses, from → to.
+	Hop(from, to int32)
+}
+
 // Options tunes RouteXYWith.
 type Options struct {
 	// ProbeBudget caps the number of probes (≤ 0 means unlimited); routing
@@ -40,6 +52,9 @@ type Options struct {
 	// remembering "is the tile over there good" answers — an ablation of
 	// the stateless Angel et al. algorithm whose savings E12 quantifies.
 	Memoize bool
+	// Charge, when non-nil, observes every charged probe and every hop —
+	// the per-hop/per-probe debit surface the energy layer hangs off.
+	Charge ChargeHooks
 }
 
 // RouteXY routes a packet from (sx, sy) to (tx, ty) on the percolated
@@ -96,14 +111,24 @@ func RouteXYInto(l *lattice.Lattice, sx, sy, tx, ty int, opt Options, sc *Scratc
 	cx, cy := sx, sy
 	res.Trajectory = append(res.Trajectory, l.Idx(cx, cy))
 	visited, parent := sc.visited, sc.parent
-	charge := func(i int32) {
+	charge := func(from, to int32) {
 		if opt.Memoize {
-			if sc.probedAt[i] == sc.attempt {
+			if sc.probedAt[to] == sc.attempt {
 				return
 			}
-			sc.probedAt[i] = sc.attempt
+			sc.probedAt[to] = sc.attempt
 		}
 		res.Probes++
+		if opt.Charge != nil {
+			opt.Charge.Probe(from, to)
+		}
+	}
+	hop := func(from, to int32) {
+		res.Hops++
+		res.Trajectory = append(res.Trajectory, to)
+		if opt.Charge != nil {
+			opt.Charge.Hop(from, to)
+		}
 	}
 
 	budgetLeft := func() bool {
@@ -115,11 +140,11 @@ func RouteXYInto(l *lattice.Lattice, sx, sy, tx, ty int, opt Options, sc *Scratc
 			return res
 		}
 		nx, ny := computeNext(cx, cy, tx, ty)
-		charge(l.Idx(nx, ny)) // isOpen(next)
+		cur := l.Idx(cx, cy)
+		charge(cur, l.Idx(nx, ny)) // isOpen(next)
 		if l.IsOpen(nx, ny) {
 			cx, cy = nx, ny
-			res.Hops++
-			res.Trajectory = append(res.Trajectory, l.Idx(cx, cy))
+			hop(cur, l.Idx(cx, cy))
 			continue
 		}
 		// Recovery: distributed BFS from curr through the open cluster for
@@ -144,7 +169,7 @@ func RouteXYInto(l *lattice.Lattice, sx, sy, tx, ty int, opt Options, sc *Scratc
 					continue
 				}
 				visited[ni] = round
-				charge(ni) // probing this site costs a message
+				charge(i, ni) // probing this site costs a message
 				if !budgetLeft() {
 					sc.queue = queue
 					return res
@@ -171,9 +196,10 @@ func RouteXYInto(l *lattice.Lattice, sx, sy, tx, ty int, opt Options, sc *Scratc
 			rev = append(rev, i)
 		}
 		sc.rev = rev
+		prev := src
 		for j := len(rev) - 1; j >= 0; j-- {
-			res.Hops++
-			res.Trajectory = append(res.Trajectory, rev[j])
+			hop(prev, rev[j])
+			prev = rev[j]
 		}
 		cx, cy = l.XY(found)
 	}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/election"
 	"repro/internal/geom"
+	"repro/internal/graph"
 	"repro/internal/hng"
 	"repro/internal/pointprocess"
 	"repro/internal/rgg"
@@ -188,6 +189,34 @@ func (c *Ctx) HNG(dep Deployment, spec hng.Spec, stream uint64) (*hng.Graph, err
 		return hngResult{g, err}
 	})
 	return r.g, r.err
+}
+
+// EnergyInstance is a prepared network-lifetime workload: the structure's
+// graph and positions, the participating nodes, the deterministic sink
+// choice and the per-role spare pool — everything energy.SimulateLifetime
+// needs except the (per-scenario, substream-fresh) traffic randomness.
+type EnergyInstance struct {
+	// Graph is the simulated structure (CSR over all deployment points).
+	Graph *graph.CSR
+	// Pos holds the vertex positions pricing each hop.
+	Pos []geom.Point
+	// Nodes lists the participating vertices (members; sinks included).
+	Nodes []int32
+	// Sinks lists the mains-powered data collectors.
+	Sinks []int32
+	// Spares is the per-node standby pool for member rotation (may be nil).
+	Spares []int
+}
+
+// Lifetime returns the cached lifetime instance for key, building it on
+// first use. key must identify every input of build (extend the source
+// structure's cache key, like Baseline does); the build must be
+// deterministic — sink selection and spare allocation are geometric, so no
+// RNG substream is involved and the Cache correctness rule holds trivially.
+// The per-run traffic randomness stays outside the cache: scenarios draw it
+// from fresh substreams per row.
+func (c *Ctx) Lifetime(key string, build func() *EnergyInstance) *EnergyInstance {
+	return Get(c.Cache, "lifetime|"+key, build)
 }
 
 // NNNet returns the cached NN-SENS network over the deployment. Unless

@@ -192,4 +192,3 @@ func (s *JSONLSink) Timing(id string, elapsed time.Duration) error {
 	return s.enc.Encode(jsonlEvent{Event: "done", ID: id,
 		Millis: float64(elapsed.Microseconds()) / 1000})
 }
-

@@ -32,6 +32,19 @@ type HandlerFunc func(net *Network, msg Message)
 // HandleMessage calls f.
 func (f HandlerFunc) HandleMessage(net *Network, msg Message) { f(net, msg) }
 
+// EnergySink observes message traffic for energy accounting. MessageSent
+// fires when Send schedules a message (the sender spends transmit energy
+// whether or not anyone is listening); MessageDelivered fires only when a
+// registered handler actually receives it (the receiver spends receive
+// energy). A message to an unregistered node therefore costs tx but no rx —
+// mirroring the counter semantics documented on Send.
+type EnergySink interface {
+	// MessageSent is called once per Send, at send time.
+	MessageSent(from, to NodeID)
+	// MessageDelivered is called at delivery time, before the handler runs.
+	MessageDelivered(from, to NodeID)
+}
+
 // Network is the event queue and node registry.
 type Network struct {
 	now      float64
@@ -42,10 +55,19 @@ type Network struct {
 	// Delay is the message latency applied by Send (default 1).
 	Delay float64
 
-	// Counters.
+	// Energy, when non-nil, receives a MessageSent call per Send and a
+	// MessageDelivered call per actual delivery (dropped messages get none).
+	Energy EnergySink
+
+	// Counters. The accounting contract — relied on by the energy debits
+	// hanging off Send/delivery — is: MessagesSent increments at Send time,
+	// unconditionally; MessagesDelivered and Dropped increment at delivery
+	// time, when the destination's handler is looked up. A message to a node
+	// that is never registered is thus Sent immediately but only Dropped once
+	// its delivery event is processed by Run; before that it sits in Pending.
 	MessagesSent      int
 	MessagesDelivered int
-	Dropped           int // messages to unregistered nodes
+	Dropped           int // messages to unregistered nodes, counted at delivery time
 }
 
 type event struct {
@@ -66,9 +88,17 @@ func (n *Network) Now() float64 { return n.now }
 // Register installs the handler for a node, replacing any previous one.
 func (n *Network) Register(id NodeID, h Handler) { n.handlers[id] = h }
 
-// Send schedules delivery of a message after the network delay.
+// Send schedules delivery of a message after the network delay. It counts
+// toward MessagesSent (and charges the Energy sink's tx debit) immediately,
+// even when the destination is never registered: the sender has spent the
+// transmission either way. The message is only counted Dropped — and the
+// receive-side energy debit only skipped — at delivery time, when Run finds
+// no handler for the destination.
 func (n *Network) Send(from, to NodeID, payload any) {
 	n.MessagesSent++
+	if n.Energy != nil {
+		n.Energy.MessageSent(from, to)
+	}
 	n.push(event{at: n.now + n.Delay, msg: Message{From: from, To: to, Payload: payload}})
 }
 
@@ -111,6 +141,9 @@ func (n *Network) Run(maxEvents int) int {
 			continue
 		}
 		n.MessagesDelivered++
+		if n.Energy != nil {
+			n.Energy.MessageDelivered(e.msg.From, e.msg.To)
+		}
 		h.HandleMessage(n, e.msg)
 	}
 	return processed

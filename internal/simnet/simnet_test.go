@@ -75,6 +75,68 @@ func TestUnregisteredDrops(t *testing.T) {
 	}
 }
 
+// TestDropAccountingTiming pins the documented accounting contract the
+// energy debits hang off: a Send to an unregistered node counts MessagesSent
+// immediately, but is only counted Dropped at delivery time — before Run
+// processes the event it is Pending, not Dropped.
+func TestDropAccountingTiming(t *testing.T) {
+	net := New()
+	net.Send(0, 99, "void")
+	if net.MessagesSent != 1 {
+		t.Errorf("MessagesSent = %d at send time, want 1", net.MessagesSent)
+	}
+	if net.Dropped != 0 || net.Pending() != 1 {
+		t.Errorf("before Run: dropped=%d pending=%d, want 0/1", net.Dropped, net.Pending())
+	}
+	net.Run(0)
+	if net.Dropped != 1 || net.MessagesDelivered != 0 || net.Pending() != 0 {
+		t.Errorf("after Run: dropped=%d delivered=%d pending=%d, want 1/0/0",
+			net.Dropped, net.MessagesDelivered, net.Pending())
+	}
+	// Registering the destination after the drop does not resurrect it.
+	net.Register(99, HandlerFunc(func(*Network, Message) {}))
+	net.Run(0)
+	if net.MessagesDelivered != 0 {
+		t.Error("dropped message was delivered retroactively")
+	}
+}
+
+// recorderSink records EnergySink callbacks in order.
+type recorderSink struct{ events []string }
+
+func (r *recorderSink) MessageSent(from, to NodeID) {
+	r.events = append(r.events, "tx")
+}
+func (r *recorderSink) MessageDelivered(from, to NodeID) {
+	r.events = append(r.events, "rx")
+}
+
+// TestEnergySinkCallbacks pins the hook contract: one MessageSent per Send
+// (at send time), one MessageDelivered per actual delivery, none for drops
+// or timers.
+func TestEnergySinkCallbacks(t *testing.T) {
+	net := New()
+	rec := &recorderSink{}
+	net.Energy = rec
+	net.Register(1, HandlerFunc(func(*Network, Message) {}))
+	net.Send(0, 1, "a")
+	if len(rec.events) != 1 || rec.events[0] != "tx" {
+		t.Fatalf("events at send time = %v, want [tx]", rec.events)
+	}
+	net.Send(0, 99, "dropped")
+	net.After(1, func(*Network) {}) // timers carry no energy
+	net.Run(0)
+	want := []string{"tx", "tx", "rx"}
+	if len(rec.events) != len(want) {
+		t.Fatalf("events = %v, want %v", rec.events, want)
+	}
+	for i := range want {
+		if rec.events[i] != want[i] {
+			t.Fatalf("events = %v, want %v", rec.events, want)
+		}
+	}
+}
+
 func TestMaxEventsLimit(t *testing.T) {
 	net := New()
 	// Self-perpetuating timer chain.

@@ -94,19 +94,24 @@ func (f ExpDecayFit) Predict(x float64) float64 { return f.A * math.Exp(-f.Rate*
 
 // MonotoneThreshold locates, by bisection, the input x in [lo, hi] at which
 // the (noisy, assumed increasing) function f crosses the level target.
-// It evaluates f at most maxEval times and returns the bracketing midpoint.
-// f should return an empirical estimate in [0, 1]; tolX controls the
-// termination width.
-func MonotoneThreshold(f func(x float64) float64, lo, hi, target, tolX float64, maxEval int) float64 {
+// It evaluates f at most maxEval times and returns the bracketing midpoint
+// with ok true. When the initial bracket does not straddle the target —
+// f(lo) already at or above it, or f(hi) still below it — no crossing can
+// be located: the nearer endpoint is returned with ok false, so callers can
+// tell "the threshold is ≈ x" from "the threshold lies outside [lo, hi]"
+// (the two were previously indistinguishable). f should return an empirical
+// estimate in [0, 1]; tolX controls the termination width.
+func MonotoneThreshold(f func(x float64) float64, lo, hi, target, tolX float64, maxEval int) (x float64, ok bool) {
 	flo := f(lo)
 	fhi := f(hi)
 	evals := 2
-	// If the bracket does not straddle the target, return the nearer end.
+	// A non-straddling bracket has no crossing to bisect toward: report the
+	// nearer end, flagged.
 	if flo >= target {
-		return lo
+		return lo, false
 	}
 	if fhi < target {
-		return hi
+		return hi, false
 	}
 	for hi-lo > tolX && evals < maxEval {
 		mid := (lo + hi) / 2
@@ -117,7 +122,7 @@ func MonotoneThreshold(f func(x float64) float64, lo, hi, target, tolX float64, 
 		}
 		evals++
 	}
-	return (lo + hi) / 2
+	return (lo + hi) / 2, true
 }
 
 // Histogram is a fixed-bin histogram over [Lo, Hi).

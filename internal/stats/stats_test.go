@@ -195,17 +195,32 @@ func TestFitExpDecaySkipsNonPositive(t *testing.T) {
 func TestMonotoneThreshold(t *testing.T) {
 	// Deterministic sigmoid crossing 0.5 at x = 3.
 	f := func(x float64) float64 { return 1 / (1 + math.Exp(-(x-3)*4)) }
-	got := MonotoneThreshold(f, 0, 10, 0.5, 1e-4, 100)
+	got, ok := MonotoneThreshold(f, 0, 10, 0.5, 1e-4, 100)
+	if !ok {
+		t.Error("straddling bracket reported not found")
+	}
 	if math.Abs(got-3) > 1e-3 {
 		t.Errorf("threshold = %v want 3", got)
 	}
-	// Bracket entirely above the target returns lo.
-	if got := MonotoneThreshold(f, 5, 10, 0.5, 1e-4, 100); got != 5 {
-		t.Errorf("above-target bracket = %v", got)
+	// Bracket entirely above the target returns lo with ok false: the
+	// crossing lies left of the bracket and was NOT located.
+	if got, ok := MonotoneThreshold(f, 5, 10, 0.5, 1e-4, 100); got != 5 || ok {
+		t.Errorf("above-target bracket = (%v, %v), want (5, false)", got, ok)
 	}
-	// Bracket entirely below the target returns hi.
-	if got := MonotoneThreshold(f, 0, 1, 0.9999999, 1e-4, 100); got != 1 {
-		t.Errorf("below-target bracket = %v", got)
+	// Bracket entirely below the target returns hi with ok false.
+	if got, ok := MonotoneThreshold(f, 0, 1, 0.9999999, 1e-4, 100); got != 1 || ok {
+		t.Errorf("below-target bracket = (%v, %v), want (1, false)", got, ok)
+	}
+	// A converged bisection landing exactly on an endpoint is still found —
+	// the ok signal is what distinguishes it from the non-straddle cases.
+	step := func(x float64) float64 {
+		if x > 0 {
+			return 1
+		}
+		return 0
+	}
+	if got, ok := MonotoneThreshold(step, -1e-5, 1, 0.5, 1e-9, 1000); !ok || math.Abs(got) > 1e-4 {
+		t.Errorf("near-endpoint crossing = (%v, %v), want (≈0, true)", got, ok)
 	}
 }
 
