@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify test test-race bench baseline bench-compare ci doclint scenarios
+.PHONY: verify test test-race bench baseline bench-compare ci doclint scenarios fuzz-smoke
 
 # verify is the tier-1 gate: build (including every example), vet, full
 # test suite.
@@ -17,10 +17,11 @@ doclint:
 
 # ci is the full pre-merge pipeline: the tier-1 gate (build + vet + test),
 # the doc-comment lint, the race-detector pass over the concurrency-bearing
-# packages, and a benchmark run diffed against the checked-in baseline,
-# flagging >10% time regressions. Set BENCH_STRICT=1 to turn flags into a
-# non-zero exit.
-ci: verify doclint test-race bench-compare
+# packages, a short fuzz smoke over the fault-schedule builder, and a
+# benchmark run diffed against the checked-in baseline, flagging >10% time
+# regressions. Set BENCH_STRICT=1 (time) or BENCH_STRICT_ALLOCS=1 (allocs)
+# to turn flags into a non-zero exit.
+ci: verify doclint test-race fuzz-smoke bench-compare
 
 # scenarios emits per-scenario wall times (JSON) from a reduced-scale
 # engine run — the experiment-level perf trajectory.
@@ -33,11 +34,20 @@ test:
 # test-race runs the concurrency-bearing packages under the race detector:
 # the parallel fan-out primitives, the engine's shared cache and
 # jobs-bounded scenario execution, the discrete-event simulator (whose
-# energy sink now hangs off Send/deliver), and the energy subsystem. Short
-# mode: race instrumentation makes the golden-scale suites several times
-# slower, and the data-race surface is fully exercised by the short tests.
+# energy sink now hangs off Send/deliver), the energy subsystem, and the
+# fault-injection layer whose schedules are shared across parallel scenario
+# rows. Short mode: race instrumentation makes the golden-scale suites
+# several times slower, and the data-race surface is fully exercised by the
+# short tests.
 test-race:
-	$(GO) test -race -short ./internal/parallel ./internal/scenario ./internal/simnet ./internal/energy
+	$(GO) test -race -short ./internal/parallel ./internal/scenario ./internal/simnet ./internal/energy ./internal/fault
+
+# fuzz-smoke runs the fault-schedule fuzz target for a few seconds: the
+# builder must never panic and alive-sets must shrink monotonically for any
+# input. Ten seconds is a smoke test, not a campaign — run longer fuzzes
+# with 'go test ./internal/fault -fuzz=FuzzSchedule' directly.
+fuzz-smoke:
+	$(GO) test ./internal/fault -run='^$$' -fuzz=FuzzSchedule -fuzztime=10s
 
 # bench runs every benchmark once with allocation reporting — the quick
 # "did I regress the pipeline" check.

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/energy"
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/geom"
 	"repro/internal/hng"
 	"repro/internal/pointprocess"
@@ -221,6 +222,18 @@ func DefaultEnergyModel() EnergyModel { return energy.DefaultModel() }
 // the Q** scenarios.
 func DefaultLifetimeSpec() LifetimeSpec { return energy.DefaultSpec() }
 
+// RepairPolicy selects how the lifetime simulation's routing forest reacts
+// to node deaths (LifetimeSpec.Repair).
+type RepairPolicy = energy.RepairPolicy
+
+// Repair policies: full forest rebuild (the historical default) vs
+// localized repair that re-attaches only orphaned subtrees (graceful
+// degradation under attack, R02).
+const (
+	RepairRebuild = energy.RepairRebuild
+	RepairLocal   = energy.RepairLocal
+)
+
 // LifetimeSinks returns the deterministic multi-gateway sink choice for a
 // SENS network: up to four members, one nearest each quadrant centroid of
 // the member bounding box.
@@ -242,6 +255,47 @@ func SimulateLifetime(n *Network, sinks []int32, spec LifetimeSpec, seed Seed) (
 // sinks).
 func SimulateHNGLifetime(h *HNGGraph, sinks []int32, spec LifetimeSpec, seed Seed) (*LifetimeReport, error) {
 	return energy.SimulateLifetime(h.CSR, h.Pos, h.Vertices(), sinks, spec, rng.New(seed))
+}
+
+// Fault injection: deterministic crash/loss/attack schedules applied to
+// the structures above; measured by the R01–R03 scenarios (tag
+// "robustness"). Schedules are pure data — build once, reuse across runs.
+type (
+	// FaultSchedule is a deterministic fault plan: crash-stop events at
+	// round boundaries, a baseline per-hop loss probability, and burst
+	// windows of elevated loss.
+	FaultSchedule = fault.Schedule
+	// FaultEvent is one crash-stop failure (round, node).
+	FaultEvent = fault.Event
+	// LossWindow is a burst of elevated loss over a round interval.
+	LossWindow = fault.Window
+	// VictimSelector picks the attack victim ordering (random failure vs
+	// targeted attack).
+	VictimSelector = fault.Selector
+)
+
+// Victim selectors: uniform random failure, and the two classic targeted
+// attacks — by descending degree and by descending betweenness centrality.
+const (
+	SelectRandom      = fault.SelectRandom
+	SelectDegree      = fault.SelectDegree
+	SelectBetweenness = fault.SelectBetweenness
+)
+
+// NetworkVictims orders the network's members as attack victims under the
+// selector: a uniform shuffle for SelectRandom (driven by seed), descending
+// degree / betweenness (ties by ascending id, seed unused) for the targeted
+// attacks. Feed the prefix to CrashSchedule.
+func NetworkVictims(n *Network, sel VictimSelector, seed Seed) []int32 {
+	return fault.Victims(n.Graph, n.Members, sel, rng.New(seed))
+}
+
+// CrashSchedule turns a victim ordering into a crash schedule killing the
+// first frac of the victims from round start on, perRound at a time
+// (perRound ≤ 0: all at once at start). Compose loss on the result with
+// WithLoss / WithBurst.
+func CrashSchedule(victims []int32, frac float64, start, perRound int) *FaultSchedule {
+	return fault.CrashSchedule(victims, frac, start, perRound)
 }
 
 // RouteResult reports a SENS routing attempt.

@@ -148,7 +148,7 @@ func TestPublicBaselines(t *testing.T) {
 
 func TestPublicExperimentAccess(t *testing.T) {
 	ids := sensnet.ExperimentIDs()
-	if len(ids) != 24 || ids[0] != "E01" || ids[17] != "E18" || ids[20] != "H03" || ids[23] != "Q03" {
+	if len(ids) != 27 || ids[0] != "E01" || ids[17] != "E18" || ids[20] != "H03" || ids[26] != "R03" {
 		t.Fatalf("ExperimentIDs = %v", ids)
 	}
 	tab := sensnet.RunExperiment("E01", sensnet.ExperimentConfig{Seed: 5, Scale: 0.1})
@@ -213,8 +213,8 @@ func TestPublicDeployGradient(t *testing.T) {
 
 func TestPublicScenarioSurface(t *testing.T) {
 	scs := sensnet.Scenarios()
-	if len(scs) != 24 {
-		t.Fatalf("want 24 registered scenarios, got %d", len(scs))
+	if len(scs) != 27 {
+		t.Fatalf("want 27 registered scenarios, got %d", len(scs))
 	}
 	if len(sensnet.ScenarioTags()) == 0 {
 		t.Error("no scenario tags registered")
@@ -227,9 +227,15 @@ func TestPublicScenarioSurface(t *testing.T) {
 	if err != nil || len(hngScs) != 3 {
 		t.Fatalf("MatchScenarios(tag:topology:hng) = %d, %v", len(hngScs), err)
 	}
+	// Q01–Q03 plus R02, which rides the lifetime machinery.
 	energyScs, err := sensnet.MatchScenarios("tag:energy")
-	if err != nil || len(energyScs) != 3 {
+	if err != nil || len(energyScs) != 4 {
 		t.Fatalf("MatchScenarios(tag:energy) = %d, %v", len(energyScs), err)
+	}
+	// E18 (density robustness) plus the R01–R03 attack family.
+	robustScs, err := sensnet.MatchScenarios("tag:robustness")
+	if err != nil || len(robustScs) != 4 {
+		t.Fatalf("MatchScenarios(tag:robustness) = %d, %v", len(robustScs), err)
 	}
 
 	var buf strings.Builder
@@ -259,5 +265,55 @@ func TestPublicScenarioSurface(t *testing.T) {
 	}
 	if !strings.HasPrefix(csv.String(), "scenario,model,") {
 		t.Errorf("csv sink output wrong:\n%s", csv.String())
+	}
+}
+
+// TestPublicFaultSurface exercises the robustness API end to end: victim
+// ordering, crash schedule, loss composition, and a faulted lifetime run
+// with localized repair.
+func TestPublicFaultSurface(t *testing.T) {
+	box := sensnet.Box(16, 16)
+	pts := sensnet.Deploy(box, 16, 6)
+	net, err := sensnet.BuildUDGSens(pts, box, sensnet.DefaultUDGSpec(), sensnet.Options{SkipBase: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victims := sensnet.NetworkVictims(net, sensnet.SelectDegree, 1)
+	if len(victims) != len(net.Members) {
+		t.Fatalf("victim ordering covers %d of %d members", len(victims), len(net.Members))
+	}
+	// Degree ordering is seed-independent.
+	again := sensnet.NetworkVictims(net, sensnet.SelectDegree, 99)
+	for i := range victims {
+		if victims[i] != again[i] {
+			t.Fatal("degree ordering depends on the seed")
+		}
+	}
+
+	sched := sensnet.CrashSchedule(victims, 0.1, 10, 0).WithLoss(0.05)
+	if err := sched.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(sched.Crashes), (len(victims)+9)/10; got != want {
+		t.Fatalf("crash count %d, want ⌈10%%⌉ = %d", got, want)
+	}
+
+	spec := sensnet.DefaultLifetimeSpec()
+	spec.MaxRounds = 80
+	spec.Faults = sched
+	spec.Repair = sensnet.RepairLocal
+	sinks := sensnet.LifetimeSinks(net)
+	rep, err := sensnet.SimulateLifetime(net, sinks, spec, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Crashed == 0 {
+		t.Error("no crashes recorded despite the schedule")
+	}
+	if rep.Attempted != rep.Delivered+rep.Dropped+rep.Lost {
+		t.Errorf("accounting: %d != %d+%d+%d", rep.Attempted, rep.Delivered, rep.Dropped, rep.Lost)
+	}
+	if rep.ResidualJain <= 0 || rep.ResidualJain > 1 {
+		t.Errorf("ResidualJain = %v", rep.ResidualJain)
 	}
 }

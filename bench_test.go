@@ -251,3 +251,15 @@ func BenchmarkSimulateLifetimePublic(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkR01AttackDecay regenerates R01: giant-component decay under
+// random failure vs targeted (degree/betweenness) attack per topology.
+func BenchmarkR01AttackDecay(b *testing.B) { runExperiment(b, "R01") }
+
+// BenchmarkR02LifetimeUnderAttack regenerates R02: the Q01 lifetime
+// head-to-head with a mid-run crash-stop attack and localized repair.
+func BenchmarkR02LifetimeUnderAttack(b *testing.B) { runExperiment(b, "R02") }
+
+// BenchmarkR03LossRetry regenerates R03: the per-link loss × retry-policy
+// sweep on the percolated-lattice router.
+func BenchmarkR03LossRetry(b *testing.B) { runExperiment(b, "R03") }

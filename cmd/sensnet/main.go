@@ -7,6 +7,7 @@
 //	sensnet -kind udg -lambda 16 -side 30 -seed 1
 //	sensnet -kind udg -mode relaxed -lambda 4 -render
 //	sensnet -kind nn -k 188 -a 0.893 -tiles 5 -json
+//	sensnet -kind udg -side 14 -faults crash:0.1,loss:0.05,attack:degree
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"strings"
 
 	sensnet "repro"
+	"repro/internal/graph"
 	"repro/internal/tiling"
 )
 
@@ -55,6 +57,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		asJSON  = fs.Bool("json", false, "emit JSON summary")
 		render  = fs.Bool("render", false, "render the tile map (good/bad) as ASCII")
 		tilefig = fs.Bool("tilefig", false, "render the tile region layout (paper Fig. 3 / Fig. 5) and exit")
+		faults  = fs.String("faults", "", "fault spec, e.g. crash:0.1,loss:0.05,attack:degree (attack: random | degree | betweenness)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -109,18 +112,97 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail("build: %v", err)
 	}
 
+	var fsum *faultSummary
+	if *faults != "" {
+		fsum, err = applyFaults(net, *faults, *seed)
+		if err != nil {
+			return fail("%v", err)
+		}
+	}
+
 	if *asJSON {
-		if err := emitJSON(stdout, net); err != nil {
+		if err := emitJSON(stdout, net, fsum); err != nil {
 			return fail("encode: %v", err)
 		}
 	} else {
-		emitText(stdout, net)
+		emitText(stdout, net, fsum)
 	}
 	if *render {
 		fmt.Fprintln(stdout)
 		fmt.Fprint(stdout, renderTiles(net))
 	}
 	return 0
+}
+
+// faultSummary is the robustness block emitted when -faults is given: the
+// parsed spec applied to the freshly built network.
+type faultSummary struct {
+	Attack        string  `json:"attack"`
+	CrashFraction float64 `json:"crashFraction"`
+	Crashed       int     `json:"crashed"`
+	SurvivingLCC  float64 `json:"survivingLCC"`
+	LossRate      float64 `json:"lossRate"`
+}
+
+// parseFaults parses "crash:FRAC,loss:P,attack:SEL" (any subset, any
+// order; attack defaults to random).
+func parseFaults(spec string) (crash, loss float64, sel sensnet.VictimSelector, err error) {
+	sel = sensnet.SelectRandom
+	for _, part := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return 0, 0, sel, fmt.Errorf("bad -faults entry %q (want key:value)", part)
+		}
+		switch key {
+		case "crash":
+			if _, e := fmt.Sscanf(val, "%g", &crash); e != nil || crash < 0 || crash > 1 {
+				return 0, 0, sel, fmt.Errorf("bad -faults crash fraction %q (want 0..1)", val)
+			}
+		case "loss":
+			if _, e := fmt.Sscanf(val, "%g", &loss); e != nil || loss < 0 || loss >= 1 {
+				return 0, 0, sel, fmt.Errorf("bad -faults loss rate %q (want 0 ≤ p < 1)", val)
+			}
+		case "attack":
+			switch val {
+			case "random":
+				sel = sensnet.SelectRandom
+			case "degree":
+				sel = sensnet.SelectDegree
+			case "betweenness":
+				sel = sensnet.SelectBetweenness
+			default:
+				return 0, 0, sel, fmt.Errorf("unknown -faults attack %q (want random | degree | betweenness)", val)
+			}
+		default:
+			return 0, 0, sel, fmt.Errorf("unknown -faults key %q (want crash | loss | attack)", key)
+		}
+	}
+	return crash, loss, sel, nil
+}
+
+// applyFaults builds the deterministic fault schedule the spec describes,
+// applies the crash prefix to the network's member set, and summarizes
+// what an attacked run would start from.
+func applyFaults(net *sensnet.Network, spec string, seed uint64) (*faultSummary, error) {
+	crash, loss, sel, err := parseFaults(spec)
+	if err != nil {
+		return nil, err
+	}
+	victims := sensnet.NetworkVictims(net, sel, sensnet.Seed(seed))
+	sched := sensnet.CrashSchedule(victims, crash, 1, 0)
+	if loss > 0 {
+		sched = sched.WithLoss(loss)
+	}
+	alive := sched.AliveSet(int(net.Graph.N), 1)
+	lcc := graph.LargestComponentWhere(net.Graph, net.Members,
+		func(u int32) bool { return alive[u] })
+	return &faultSummary{
+		Attack:        sel.String(),
+		CrashFraction: crash,
+		Crashed:       len(sched.Crashes),
+		SurvivingLCC:  float64(lcc) / float64(len(net.Members)),
+		LossRate:      sched.LossAt(1),
+	}, nil
 }
 
 type summary struct {
@@ -137,6 +219,8 @@ type summary struct {
 	ElectionRounds   int     `json:"electionRounds"`
 	HandshakeFails   int     `json:"handshakeFailures"`
 	DegreeHistogram  []int   `json:"degreeHistogram"`
+
+	Faults *faultSummary `json:"faults,omitempty"`
 }
 
 func summarize(net *sensnet.Network) summary {
@@ -157,13 +241,15 @@ func summarize(net *sensnet.Network) summary {
 	}
 }
 
-func emitJSON(w io.Writer, net *sensnet.Network) error {
+func emitJSON(w io.Writer, net *sensnet.Network, fsum *faultSummary) error {
+	s := summarize(net)
+	s.Faults = fsum
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(summarize(net))
+	return enc.Encode(s)
 }
 
-func emitText(w io.Writer, net *sensnet.Network) {
+func emitText(w io.Writer, net *sensnet.Network, fsum *faultSummary) {
 	s := summarize(net)
 	fmt.Fprintf(w, "%s\n", net)
 	fmt.Fprintf(w, "  deployment:        %d points\n", s.Points)
@@ -175,6 +261,13 @@ func emitText(w io.Writer, net *sensnet.Network) {
 	fmt.Fprintf(w, "  election cost:     %d messages, %d rounds (P4)\n", s.ElectionMessages, s.ElectionRounds)
 	if s.HandshakeFails > 0 {
 		fmt.Fprintf(w, "  handshake fails:   %d (relaxed mode)\n", s.HandshakeFails)
+	}
+	if fsum != nil {
+		fmt.Fprintf(w, "fault injection:\n")
+		fmt.Fprintf(w, "  attack:            %s (crash fraction %.2f)\n", fsum.Attack, fsum.CrashFraction)
+		fmt.Fprintf(w, "  crashed:           %d of %d members\n", fsum.Crashed, s.Members)
+		fmt.Fprintf(w, "  surviving LCC:     %.1f%% of members\n", 100*fsum.SurvivingLCC)
+		fmt.Fprintf(w, "  per-hop loss:      %.2f\n", fsum.LossRate)
 	}
 }
 

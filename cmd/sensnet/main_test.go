@@ -102,6 +102,67 @@ func TestLiteralModeStillBuilds(t *testing.T) {
 	}
 }
 
+// TestFaultsFlag pins the -faults robustness block: a valid spec reports
+// the crashed count and surviving giant component, a targeted attack
+// shreds the LCC harder than the crash fraction alone, and the block
+// rides the JSON summary too.
+func TestFaultsFlag(t *testing.T) {
+	out, _, code := runCLI(t, "-kind", "udg", "-side", "14", "-seed", "3",
+		"-faults", "crash:0.1,loss:0.05,attack:degree")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	for _, want := range []string{"fault injection:", "attack:", "degree",
+		"crashed:", "surviving LCC:", "per-hop loss:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fault block missing %q:\n%s", want, out)
+		}
+	}
+
+	jout, _, code := runCLI(t, "-kind", "udg", "-side", "14", "-seed", "3", "-json",
+		"-faults", "crash:0.2,attack:random")
+	if code != 0 {
+		t.Fatalf("json exit %d", code)
+	}
+	var s summary
+	if err := json.Unmarshal([]byte(jout), &s); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, jout)
+	}
+	if s.Faults == nil {
+		t.Fatalf("JSON summary missing faults block:\n%s", jout)
+	}
+	if s.Faults.Attack != "random" || s.Faults.Crashed == 0 ||
+		s.Faults.SurvivingLCC <= 0 || s.Faults.SurvivingLCC > 1 {
+		t.Errorf("faults block = %+v", s.Faults)
+	}
+	// Without -faults the block stays out of the JSON contract.
+	jout, _, _ = runCLI(t, "-kind", "udg", "-side", "14", "-seed", "3", "-json")
+	if strings.Contains(jout, `"faults"`) {
+		t.Errorf("faults block present without -faults:\n%s", jout)
+	}
+}
+
+// TestFaultsFlagErrors: malformed specs exit 1 with a diagnostic.
+func TestFaultsFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-faults", "crash:2"},
+		{"-faults", "loss:1.5"},
+		{"-faults", "attack:psychic"},
+		{"-faults", "banana:0.5"},
+		{"-faults", "crash=0.5"},
+	}
+	for _, extra := range cases {
+		args := append([]string{"-kind", "udg", "-side", "12", "-seed", "3"}, extra...)
+		_, errOut, code := runCLI(t, args...)
+		if code != 1 {
+			t.Errorf("%v: exit %d, want 1", extra, code)
+		}
+		if !strings.Contains(errOut, "-faults") {
+			t.Errorf("%v: stderr %q lacks a -faults diagnostic", extra, errOut)
+		}
+	}
+}
+
 func TestErrorPaths(t *testing.T) {
 	cases := [][]string{
 		{"-kind", "marble"},

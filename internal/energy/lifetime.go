@@ -5,8 +5,10 @@ import (
 	"math"
 	"math/rand/v2"
 
+	"repro/internal/fault"
 	"repro/internal/geom"
 	"repro/internal/graph"
+	"repro/internal/stats"
 )
 
 // Spec configures a lifetime simulation.
@@ -37,7 +39,36 @@ type Spec struct {
 	// slice); nil means no spares anywhere. Only consulted when Rotation is
 	// set.
 	Spares []int
+	// Faults, when non-nil, injects the fault schedule: crash-stop failures
+	// are applied at the round boundary entering their scheduled round,
+	// before traffic, and every forwarding hop is additionally lost with the
+	// schedule's per-round loss rate (tx energy spent, rx not — the simnet
+	// drop-accounting contract). A nil schedule changes nothing, draws
+	// nothing from the generator, and keeps results bit-identical.
+	Faults *fault.Schedule
+	// Repair selects how routes are fixed after deaths (battery or crash);
+	// the zero value is the historical full rebuild.
+	Repair RepairPolicy
 }
+
+// RepairPolicy selects how the uplink forest is fixed after the alive set
+// shrinks.
+type RepairPolicy int
+
+const (
+	// RepairRebuild recomputes every route with a full multi-source BFS from
+	// the alive sinks — globally hop-optimal, the historical behavior and
+	// the default.
+	RepairRebuild RepairPolicy = iota
+	// RepairLocal patches only the broken region — graceful degradation:
+	// nodes whose uplink chain still reaches an alive sink keep their
+	// routes untouched; orphaned nodes re-attach to their first intact
+	// neighbor (sorted adjacency, then BFS outward through the orphan
+	// region), and nodes with no intact neighbor stay routeless until the
+	// next repair. Routes may drift off hop-optimal, which is the price of
+	// locality the R02 scenario quantifies.
+	RepairLocal
+)
 
 // DefaultSpec returns the reference lifetime configuration used by the Q**
 // scenarios: the default radio model, unit packets at rate 1/2, and a
@@ -67,6 +98,12 @@ type Report struct {
 	// Attempted, Delivered and Dropped count report packets over the whole
 	// run; Dropped are reports by sources with no live route to any sink.
 	Attempted, Delivered, Dropped int
+	// Lost counts report packets eaten in flight by the fault schedule's
+	// message loss (attempted, not delivered, tx spent on the lossy hop).
+	Lost int
+	// Crashed counts nodes killed by the fault schedule's crash-stop events
+	// (battery deaths are not included).
+	Crashed int
 	// Rotations counts spare take-overs (0 unless Spec.Rotation).
 	Rotations int
 	// Alive holds the per-round fraction of battery-powered roles still
@@ -87,6 +124,9 @@ type Report struct {
 	// role died (NaN if nothing died): low spread means consumption was
 	// distributed evenly up to the first loss.
 	SpreadAtFirstDeath float64
+	// ResidualJain is Jain's fairness index over the end-of-run residual
+	// energy fractions: 1 means perfectly even consumption.
+	ResidualJain float64
 	// TotalSpent is the total energy demanded of all batteries.
 	TotalSpent float64
 }
@@ -164,6 +204,15 @@ type sim struct {
 	nextCost []float64 // tx cost of one PacketBits packet along the uplink
 	queue    []int32
 	dirty    bool // alive set changed since the last route build
+
+	// Fault state: cursor into the schedule's sorted crashes, counters, and
+	// the local-repair scratch (allocated on first repair).
+	crashCursor  int
+	crashed      int
+	lost         int
+	routesBuilt  bool
+	repairStatus []int8 // 0 unknown, 1 chain intact, 2 chain broken
+	repairWalk   []int32
 
 	nPowered    int // battery-powered roles
 	nAlive      int // alive battery-powered roles
@@ -271,7 +320,8 @@ func (s *sim) rebuildRoutes() {
 	}
 	q := s.queue[:0]
 	for _, v := range s.nodes {
-		if s.isSink[v] {
+		// A crashed sink stops collecting: only alive sinks seed the forest.
+		if s.isSink[v] && s.alive[v] {
 			s.next[v] = v
 			q = append(q, v)
 		}
@@ -289,6 +339,142 @@ func (s *sim) rebuildRoutes() {
 	}
 	s.queue = q
 	s.dirty = false
+	s.routesBuilt = true
+}
+
+// applyCrashes executes every crash-stop event scheduled at the boundary
+// entering the upcoming round (s.round+1): the victim's battery state is
+// irrelevant — the node simply stops. Crashes count toward FirstDeath and
+// trigger the same route invalidation and component recount as battery
+// deaths.
+func (s *sim) applyCrashes() {
+	evs := s.spec.Faults.Crashes
+	killed := 0
+	for s.crashCursor < len(evs) && evs[s.crashCursor].Round <= s.round+1 {
+		u := evs[s.crashCursor].Node
+		s.crashCursor++
+		if u < 0 || int(u) >= s.g.N || !s.alive[u] {
+			continue
+		}
+		s.alive[u] = false
+		if s.powered[u] {
+			s.nAlive--
+		}
+		s.crashed++
+		killed++
+	}
+	if killed == 0 {
+		return
+	}
+	s.dirty = true
+	if s.firstDeath < 0 {
+		s.firstDeath = s.round + 1
+		s.spreadAtFirstDeath = s.residualSpread()
+	}
+	s.largestFrac = float64(graph.LargestComponentWhere(s.g, s.nodes,
+		func(u int32) bool { return s.alive[u] })) / float64(len(s.nodes))
+}
+
+// repairRoutes is the RepairLocal alternative to rebuildRoutes: it walks
+// each alive node's uplink chain once (memoized per invocation), keeps
+// every route that still reaches an alive sink, orphans the rest, and
+// re-attaches orphans to their first intact neighbor in sorted-adjacency
+// order, then BFS outward through the orphan region. Fully deterministic:
+// the seed scan follows participant order and expansion follows sorted
+// adjacency. Orphans with no path to an intact node stay routeless.
+func (s *sim) repairRoutes() {
+	if s.repairStatus == nil {
+		s.repairStatus = make([]int8, s.g.N)
+	}
+	status := s.repairStatus
+	for _, v := range s.nodes {
+		status[v] = 0
+	}
+	// Phase 1: classify every alive non-sink node's chain; orphan the broken.
+	for _, v := range s.nodes {
+		if !s.alive[v] {
+			s.next[v] = -1
+			continue
+		}
+		if s.isSink[v] {
+			continue
+		}
+		if !s.chainIntact(v, status) {
+			s.next[v] = -1
+		}
+	}
+	m := s.spec.Model
+	bits := s.spec.PacketBits
+	attach := func(v, w int32) {
+		s.next[v] = w
+		s.nextCost[v] = m.TxCost(bits, s.pos[w].Dist(s.pos[v]))
+		status[v] = 1
+	}
+	// Phase 2: seed — orphans adjacent to an intact node attach to the first
+	// such neighbor.
+	q := s.queue[:0]
+	for _, v := range s.nodes {
+		if !s.alive[v] || s.isSink[v] || s.next[v] >= 0 {
+			continue
+		}
+		for _, w := range s.g.Neighbors(v) {
+			if s.alive[w] && (status[w] == 1 || s.isSink[w]) {
+				attach(v, w)
+				q = append(q, v)
+				break
+			}
+		}
+	}
+	// Phase 3: BFS outward — deeper orphans hang off freshly attached ones.
+	for head := 0; head < len(q); head++ {
+		u := q[head]
+		for _, w := range s.g.Neighbors(u) {
+			if s.alive[w] && !s.isSink[w] && s.next[w] < 0 {
+				attach(w, u)
+				q = append(q, w)
+			}
+		}
+	}
+	s.queue = q
+	s.dirty = false
+}
+
+// chainIntact reports whether v's uplink chain reaches an alive sink,
+// memoizing the verdict for every node on the walked prefix. The forest is
+// acyclic (orphans only ever attach to already-intact nodes), so the walk
+// terminates.
+func (s *sim) chainIntact(v int32, status []int8) bool {
+	walk := s.repairWalk[:0]
+	cur := v
+	intact := false
+	for {
+		if status[cur] != 0 {
+			intact = status[cur] == 1
+			break
+		}
+		walk = append(walk, cur)
+		if !s.alive[cur] {
+			break
+		}
+		if s.isSink[cur] {
+			intact = true
+			break
+		}
+		w := s.next[cur]
+		if w < 0 || !s.alive[w] {
+			break
+		}
+		cur = w
+	}
+	verdict := int8(2)
+	if intact {
+		verdict = 1
+	}
+	for _, u := range walk {
+		status[u] = verdict
+	}
+	s.repairWalk = walk
+	return intact
 }
 
 // served returns the fraction of original (powered) sources currently alive
@@ -309,8 +495,15 @@ func (s *sim) step(rng *rand.Rand) bool {
 	if s.ended || s.round >= s.spec.MaxRounds {
 		return false
 	}
+	if s.spec.Faults != nil {
+		s.applyCrashes()
+	}
 	if s.dirty {
-		s.rebuildRoutes()
+		if s.spec.Repair == RepairLocal && s.routesBuilt {
+			s.repairRoutes()
+		} else {
+			s.rebuildRoutes()
+		}
 	}
 	srv := s.served()
 	if srv == 0 {
@@ -320,6 +513,14 @@ func (s *sim) step(rng *rand.Rand) bool {
 		return false
 	}
 	s.round++
+
+	// Per-hop loss rate for this round. A nil schedule (and a zero rate)
+	// draws nothing extra from the generator, keeping fault-free runs
+	// bit-identical to the historical simulation.
+	lossRate := 0.0
+	if s.spec.Faults != nil {
+		lossRate = s.spec.Faults.LossAt(s.round)
+	}
 
 	// Traffic: serial over sources in index order, all randomness from the
 	// one generator — deterministic at any GOMAXPROCS.
@@ -338,15 +539,25 @@ func (s *sim) step(rng *rand.Rand) bool {
 				continue
 			}
 			v := u
+			arrived := true
 			for hops := 0; !s.isSink[v] && hops < s.maxHops; hops++ {
 				w := s.next[v]
 				s.bats[v].Drain(s.nextCost[v])
+				if lossRate > 0 && rng.Float64() < lossRate {
+					// Lost in flight: the sender's tx is spent, the receiver
+					// pays nothing — the simnet drop-accounting contract.
+					s.lost++
+					arrived = false
+					break
+				}
 				if s.powered[w] {
 					s.bats[w].Drain(s.rxCost)
 				}
 				v = w
 			}
-			s.delivered++
+			if arrived {
+				s.delivered++
+			}
 		}
 	}
 
@@ -436,6 +647,8 @@ func (s *sim) report() *Report {
 		Attempted:          s.attempted,
 		Delivered:          s.delivered,
 		Dropped:            s.dropped,
+		Lost:               s.lost,
+		Crashed:            s.crashed,
 		Rotations:          s.rotations,
 		Alive:              s.aliveCurve,
 		Largest:            s.largestCurve,
@@ -451,6 +664,7 @@ func (s *sim) report() *Report {
 	}
 	var sum float64
 	min := math.Inf(1)
+	residuals := make([]float64, 0, s.nPowered)
 	for _, u := range s.nodes {
 		if !s.powered[u] {
 			continue
@@ -460,10 +674,12 @@ func (s *sim) report() *Report {
 		if r < min {
 			min = r
 		}
+		residuals = append(residuals, r)
 	}
 	rep.ResidualMean = sum / float64(s.nPowered)
 	rep.ResidualMin = min
 	rep.ResidualSpread = s.residualSpread()
+	rep.ResidualJain = stats.JainFairness(residuals)
 	for _, u := range s.nodes {
 		if s.powered[u] {
 			rep.TotalSpent += s.bats[u].Spent

@@ -69,6 +69,7 @@ func init() {
 	registerE17E18()
 	registerHNG()
 	registerEnergy()
+	registerRobustness()
 	for _, s := range scenario.All() {
 		run := s.Run
 		All = append(All, Runner{ID: s.ID, Title: s.Title, Run: func(cfg Config) *Table {

@@ -111,7 +111,7 @@ func TestSuiteRebuildsSharedStructuresAtMostOnce(t *testing.T) {
 
 	// Re-running the structure-heavy scenarios must rebuild nothing.
 	var rerun []scenario.Scenario
-	for _, id := range []string{"E04", "E08", "E13", "E14"} {
+	for _, id := range []string{"E04", "E08", "E13", "E14", "R01", "R02"} {
 		rerun = append(rerun, *scenario.Find(id))
 	}
 	if _, err := eng.Run(goldenCfg, rerun); err != nil {

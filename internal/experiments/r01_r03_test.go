@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/scenario"
+)
+
+// TestR01TargetedBeatsRandom pins the robustness acceptance criterion: on
+// at least one topology the degree-targeted attack collapses the giant
+// component strictly faster than random failure, never slower on average.
+func TestR01TargetedBeatsRandom(t *testing.T) {
+	ctx := scenario.NewCtx(goldenCfg)
+	instances, err := robustnessInstances(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anyStrict := false
+	for _, ri := range instances {
+		random := victimOrder(ctx, ri, fault.SelectRandom, 4200)
+		degree := victimOrder(ctx, ri, fault.SelectDegree, 4200)
+		n := ri.inst.Graph.N
+		roles := len(degree.Crashes)
+		var sumRand, sumDeg float64
+		for _, f := range r01Fractions {
+			k := int(f * float64(roles))
+			sumRand += lccFrac(ri.inst, random.AliveSet(n, k))
+			sumDeg += lccFrac(ri.inst, degree.AliveSet(n, k))
+		}
+		if sumDeg < sumRand-1e-12 {
+			anyStrict = true
+		}
+		t.Logf("%s: mean lcc random=%.4f degree=%.4f", ri.name,
+			sumRand/float64(len(r01Fractions)), sumDeg/float64(len(r01Fractions)))
+	}
+	if !anyStrict {
+		t.Error("degree-targeted attack never decayed the giant component strictly faster than random failure on any topology")
+	}
+}
+
+// TestR01VictimOrdersDeterministic: the cached fault schedules are pure
+// functions of (seed, structure, selector, stream) — two fresh contexts
+// produce identical orderings.
+func TestR01VictimOrdersDeterministic(t *testing.T) {
+	a := scenario.NewCtx(goldenCfg)
+	b := scenario.NewCtx(goldenCfg)
+	ia, err := robustnessInstances(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib, err := robustnessInstances(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ia {
+		for _, sel := range []fault.Selector{fault.SelectRandom, fault.SelectDegree, fault.SelectBetweenness} {
+			sa := victimOrder(a, ia[i], sel, 4200)
+			sb := victimOrder(b, ib[i], sel, 4200)
+			if len(sa.Crashes) != len(sb.Crashes) {
+				t.Fatalf("%s/%s: schedule lengths differ", ia[i].name, sel)
+			}
+			for j := range sa.Crashes {
+				if sa.Crashes[j] != sb.Crashes[j] {
+					t.Fatalf("%s/%s: crash %d differs: %+v vs %+v",
+						ia[i].name, sel, j, sa.Crashes[j], sb.Crashes[j])
+				}
+			}
+		}
+	}
+}

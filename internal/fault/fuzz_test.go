@@ -1,0 +1,62 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// FuzzSchedule drives the schedule builders with arbitrary inputs and pins
+// two invariants: no builder panics on any input, and under a crash-only
+// schedule the alive count is monotone non-increasing in round (nodes never
+// resurrect). Wired into `make ci` as a 10s smoke.
+func FuzzSchedule(f *testing.F) {
+	f.Add(uint64(1), 10, 0.3, 2, 1, 0.05, 3, 7, 0.5)
+	f.Add(uint64(2), 1, 1.0, 1, 0, 0.0, 1, 1, 0.0)
+	f.Add(uint64(3), 100, -0.5, -4, 3, 0.99, -2, 5, 1.5)
+	f.Fuzz(func(t *testing.T, seed uint64, n int, frac float64, start, perRound int, loss float64, from, to int, burst float64) {
+		if n < 0 || n > 1<<12 {
+			n = (n%(1<<12) + 1<<12) % (1 << 12)
+		}
+		nodes := make([]int32, n)
+		for i := range nodes {
+			nodes[i] = int32(i)
+		}
+		r := rng.New(rng.Seed(seed))
+		// Victim shuffle must handle any slice without the graph (SelectRandom
+		// never touches it).
+		victims := Victims(nil, nodes, SelectRandom, r)
+		s := CrashSchedule(victims, frac, start, perRound)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("CrashSchedule built an invalid schedule: %v", err)
+		}
+		// Composition with loss and bursts must not panic, and LossAt must
+		// stay a probability whenever the composed schedule validates.
+		c := s.WithLoss(loss).WithBurst(from, to, burst)
+		if c.Validate() == nil {
+			for round := 0; round <= c.MaxRound()+1; round++ {
+				if p := c.LossAt(round); p < 0 || p >= 1 {
+					t.Fatalf("LossAt(%d) = %v outside [0, 1)", round, p)
+				}
+			}
+		}
+		// Alive-set monotonicity under the crash-only schedule.
+		prev := n + 1
+		for round := 0; round <= s.MaxRound()+1; round++ {
+			alive := s.AliveSet(n, round)
+			count := 0
+			for _, a := range alive {
+				if a {
+					count++
+				}
+			}
+			if count > prev {
+				t.Fatalf("alive count rose from %d to %d at round %d", prev, count, round)
+			}
+			prev = count
+			if got := s.CrashedBy(round); n-count != got && n >= len(victims) {
+				t.Fatalf("round %d: alive %d of %d but CrashedBy = %d", round, count, n, got)
+			}
+		}
+	})
+}

@@ -1,0 +1,60 @@
+package graph
+
+// Betweenness computes the unweighted betweenness centrality of every
+// vertex with Brandes' algorithm (one BFS plus one dependency-accumulation
+// pass per source, O(V·E) total). Scores are unnormalized shortest-path
+// counts with each unordered pair counted once; vertices in different
+// components never contribute to each other. The computation is fully
+// serial and deterministic: identical inputs give bit-identical scores at
+// any GOMAXPROCS — which is what lets targeted-attack victim orderings
+// derived from these scores go through the scenario cache.
+func Betweenness(g *CSR) []float64 {
+	bc := make([]float64, g.N)
+	sigma := make([]float64, g.N) // shortest-path counts from the source
+	delta := make([]float64, g.N) // accumulated dependencies
+	dist := make([]int32, g.N)
+	order := make([]int32, 0, g.N) // vertices in BFS discovery order
+
+	for s := 0; s < g.N; s++ {
+		src := int32(s)
+		for i := range dist {
+			dist[i] = -1
+			sigma[i] = 0
+			delta[i] = 0
+		}
+		order = order[:0]
+		dist[src] = 0
+		sigma[src] = 1
+		order = append(order, src)
+		for head := 0; head < len(order); head++ {
+			u := order[head]
+			du := dist[u]
+			for _, v := range g.Neighbors(u) {
+				if dist[v] < 0 {
+					dist[v] = du + 1
+					order = append(order, v)
+				}
+				if dist[v] == du+1 {
+					sigma[v] += sigma[u]
+				}
+			}
+		}
+		// Dependency accumulation in reverse BFS order.
+		for i := len(order) - 1; i > 0; i-- {
+			w := order[i]
+			coeff := (1 + delta[w]) / sigma[w]
+			dw := dist[w]
+			for _, v := range g.Neighbors(w) {
+				if dist[v] == dw-1 {
+					delta[v] += sigma[v] * coeff
+				}
+			}
+			bc[w] += delta[w]
+		}
+	}
+	// Each unordered pair was counted from both endpoints.
+	for i := range bc {
+		bc[i] /= 2
+	}
+	return bc
+}

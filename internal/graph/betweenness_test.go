@@ -1,0 +1,87 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func buildCSR(n int, edges [][2]int32) *CSR {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+func TestBetweennessPath(t *testing.T) {
+	// Path 0-1-2-3: interior vertices carry the pairs that pass them.
+	g := buildCSR(4, [][2]int32{{0, 1}, {1, 2}, {2, 3}})
+	bc := Betweenness(g)
+	want := []float64{0, 2, 2, 0} // 1 carries (0,2),(0,3); 2 carries (0,3),(1,3)
+	for i, w := range want {
+		if math.Abs(bc[i]-w) > 1e-12 {
+			t.Errorf("bc[%d] = %v, want %v (all: %v)", i, bc[i], w, bc)
+		}
+	}
+}
+
+func TestBetweennessStar(t *testing.T) {
+	// Star with center 0 and 5 leaves: the center carries every leaf pair.
+	edges := [][2]int32{{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}}
+	bc := Betweenness(buildCSR(6, edges))
+	if want := 10.0; math.Abs(bc[0]-want) > 1e-12 { // C(5,2)
+		t.Errorf("center bc = %v, want %v", bc[0], want)
+	}
+	for i := 1; i < 6; i++ {
+		if bc[i] != 0 {
+			t.Errorf("leaf %d bc = %v, want 0", i, bc[i])
+		}
+	}
+}
+
+func TestBetweennessCycleUniform(t *testing.T) {
+	// On a cycle every vertex is equivalent by symmetry.
+	n := 7
+	var edges [][2]int32
+	for i := 0; i < n; i++ {
+		edges = append(edges, [2]int32{int32(i), int32((i + 1) % n)})
+	}
+	bc := Betweenness(buildCSR(n, edges))
+	for i := 1; i < n; i++ {
+		if math.Abs(bc[i]-bc[0]) > 1e-9 {
+			t.Fatalf("cycle betweenness not uniform: %v", bc)
+		}
+	}
+	if bc[0] <= 0 {
+		t.Fatalf("cycle betweenness should be positive: %v", bc)
+	}
+}
+
+func TestBetweennessDisconnected(t *testing.T) {
+	// Two components: pairs in different components contribute nothing, and
+	// isolated vertices score zero.
+	g := buildCSR(5, [][2]int32{{0, 1}, {1, 2}})
+	bc := Betweenness(g)
+	if bc[1] != 1 { // carries only (0,2)
+		t.Errorf("bc[1] = %v, want 1", bc[1])
+	}
+	if bc[3] != 0 || bc[4] != 0 {
+		t.Errorf("isolated vertices scored: %v", bc)
+	}
+}
+
+func TestBetweennessMatchesBruteForceCounts(t *testing.T) {
+	// Diamond with a tail: 0-1, 0-2, 1-3, 2-3, 3-4. Two equal shortest
+	// paths 0→3 split the credit between 1 and 2.
+	g := buildCSR(5, [][2]int32{{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 4}})
+	bc := Betweenness(g)
+	// Pair (0,3): two paths, 1 and 2 each get 1/2. Pair (0,4): two paths
+	// through 3, 1 and 2 each get 1/2 and 3 gets 1. Pairs (1,4),(2,4): 3
+	// gets 1 each. Pair (1,2): via 0 or 3, each 1/2.
+	want := []float64{0.5, 1, 1, 3.5, 0}
+	for i, w := range want {
+		if math.Abs(bc[i]-w) > 1e-12 {
+			t.Errorf("bc[%d] = %v, want %v (all: %v)", i, bc[i], w, bc)
+		}
+	}
+}

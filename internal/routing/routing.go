@@ -13,6 +13,8 @@
 package routing
 
 import (
+	"math/rand/v2"
+
 	"repro/internal/lattice"
 )
 
@@ -25,6 +27,15 @@ type Result struct {
 	// Probes counts site queries: each isOpen check on a prospective next
 	// site and each site explored by recovery BFS rounds.
 	Probes int
+	// Attempts counts transmissions, including retransmissions; with no
+	// link loss every hop is exactly one attempt, so Attempts == Hops.
+	Attempts int
+	// Lost counts failed transmission attempts (Attempts − Hops on a
+	// delivered packet).
+	Lost int
+	// Backoff is the total simulated time spent waiting between
+	// retransmissions under the retry policy.
+	Backoff float64
 	// Trajectory is the sequence of open sites visited by the packet,
 	// starting at the source (inclusive).
 	Trajectory []int32
@@ -38,8 +49,33 @@ type ChargeHooks interface {
 	// whether site to is open. Memoized re-probes (Options.Memoize) fire no
 	// Probe, matching the free re-probe accounting of Result.Probes.
 	Probe(from, to int32)
-	// Hop fires once per lattice edge the packet traverses, from → to.
+	// Hop fires once per transmission attempt on the edge from → to,
+	// including retransmissions after link loss: retries spend real battery.
+	// Without loss every traversed edge is a single attempt, so Hop fires
+	// exactly once per lattice edge the packet crosses — the historical
+	// contract.
 	Hop(from, to int32)
+}
+
+// Retry is the retransmission policy applied per hop when link loss is
+// enabled (Options.Loss > 0).
+type Retry struct {
+	// Attempts caps transmissions per hop: 0 or 1 means a single attempt
+	// (retries off), n > 1 allows n transmissions, negative means unbounded.
+	// A link with Loss ≥ 1 always fails after one attempt regardless — an
+	// unbounded policy must not spin on a certainly-dead link.
+	Attempts int
+	// Backoff is the base wait after the first failed attempt; attempt i
+	// waits Backoff·2^(i−1) (capped jittered exponential backoff).
+	Backoff float64
+	// MaxBackoff caps each individual wait (0 means uncapped).
+	MaxBackoff float64
+	// Jitter in [0, 1] randomly shaves each wait: wait ×= 1 − Jitter·U.
+	Jitter float64
+	// AltPath, when true, routes around a link whose attempts are exhausted:
+	// the recovery BFS runs with the bad next site excluded. When false the
+	// packet is simply undelivered — the retry-off baseline R03 measures.
+	AltPath bool
 }
 
 // Options tunes RouteXYWith.
@@ -55,6 +91,15 @@ type Options struct {
 	// Charge, when non-nil, observes every charged probe and every hop —
 	// the per-hop/per-probe debit surface the energy layer hangs off.
 	Charge ChargeHooks
+	// Loss is the per-transmission link-loss probability. Zero keeps the
+	// historical deterministic behavior bit-identical: no RNG is consulted
+	// and every hop succeeds on its first attempt.
+	Loss float64
+	// Rng draws loss outcomes and backoff jitter; required when Loss > 0.
+	Rng *rand.Rand
+	// Retry is the per-hop retransmission policy; the zero value means a
+	// single attempt per hop with no fallback.
+	Retry Retry
 }
 
 // RouteXY routes a packet from (sx, sy) to (tx, ty) on the percolated
@@ -123,11 +168,46 @@ func RouteXYInto(l *lattice.Lattice, sx, sy, tx, ty int, opt Options, sc *Scratc
 			opt.Charge.Probe(from, to)
 		}
 	}
-	hop := func(from, to int32) {
-		res.Hops++
-		res.Trajectory = append(res.Trajectory, to)
-		if opt.Charge != nil {
-			opt.Charge.Hop(from, to)
+	// transmit attempts the edge from → to under the loss model and retry
+	// policy. Every attempt fires Charge.Hop (retries spend battery); a
+	// successful attempt advances the trajectory. Returns false when the
+	// policy's attempts are exhausted (or immediately on a Loss ≥ 1 link,
+	// which an unbounded policy must not spin on). With Loss == 0 this is
+	// the historical single-attempt hop and consults no RNG.
+	transmit := func(from, to int32) bool {
+		for attempt := 1; ; attempt++ {
+			res.Attempts++
+			if opt.Charge != nil {
+				opt.Charge.Hop(from, to)
+			}
+			if opt.Loss <= 0 || opt.Rng.Float64() >= opt.Loss {
+				res.Hops++
+				res.Trajectory = append(res.Trajectory, to)
+				return true
+			}
+			res.Lost++
+			if opt.Loss >= 1 {
+				return false
+			}
+			maxAttempts := opt.Retry.Attempts
+			if maxAttempts == 0 {
+				maxAttempts = 1
+			}
+			if maxAttempts > 0 && attempt >= maxAttempts {
+				return false
+			}
+			shift := attempt - 1
+			if shift > 30 {
+				shift = 30
+			}
+			wait := opt.Retry.Backoff * float64(int64(1)<<uint(shift))
+			if opt.Retry.MaxBackoff > 0 && wait > opt.Retry.MaxBackoff {
+				wait = opt.Retry.MaxBackoff
+			}
+			if opt.Retry.Jitter > 0 {
+				wait *= 1 - opt.Retry.Jitter*opt.Rng.Float64()
+			}
+			res.Backoff += wait
 		}
 	}
 
@@ -142,10 +222,20 @@ func RouteXYInto(l *lattice.Lattice, sx, sy, tx, ty int, opt Options, sc *Scratc
 		nx, ny := computeNext(cx, cy, tx, ty)
 		cur := l.Idx(cx, cy)
 		charge(cur, l.Idx(nx, ny)) // isOpen(next)
+		avoid := int32(-1)
 		if l.IsOpen(nx, ny) {
-			cx, cy = nx, ny
-			hop(cur, l.Idx(cx, cy))
-			continue
+			next := l.Idx(nx, ny)
+			if transmit(cur, next) {
+				cx, cy = nx, ny
+				continue
+			}
+			// Link exhausted its attempts. Without alternate-path fallback the
+			// packet is undelivered; with it, the recovery BFS below routes
+			// around the suspect site.
+			if !opt.Retry.AltPath {
+				return res
+			}
+			avoid = next
 		}
 		// Recovery: distributed BFS from curr through the open cluster for
 		// an open site strictly further along the x–y path.
@@ -169,6 +259,11 @@ func RouteXYInto(l *lattice.Lattice, sx, sy, tx, ty int, opt Options, sc *Scratc
 					continue
 				}
 				visited[ni] = round
+				if ni == avoid {
+					// The site behind the exhausted link is treated as suspect
+					// for this recovery round: not probed, not entered.
+					continue
+				}
 				charge(i, ni) // probing this site costs a message
 				if !budgetLeft() {
 					sc.queue = queue
@@ -190,18 +285,31 @@ func RouteXYInto(l *lattice.Lattice, sx, sy, tx, ty int, opt Options, sc *Scratc
 			// Open cluster exhausted: target unreachable.
 			return res
 		}
-		// Ship the packet along the BFS tree path curr → found.
+		// Ship the packet along the BFS tree path curr → found. A terminal
+		// transmit failure mid-ship strands the packet at prev: with AltPath
+		// the outer loop re-plans from there, otherwise it is undelivered.
 		rev := sc.rev[:0]
 		for i := found; i != src; i = parent[i] {
 			rev = append(rev, i)
 		}
 		sc.rev = rev
 		prev := src
+		shipped := true
 		for j := len(rev) - 1; j >= 0; j-- {
-			hop(prev, rev[j])
+			if !transmit(prev, rev[j]) {
+				if !opt.Retry.AltPath {
+					return res
+				}
+				shipped = false
+				break
+			}
 			prev = rev[j]
 		}
-		cx, cy = l.XY(found)
+		if shipped {
+			cx, cy = l.XY(found)
+		} else {
+			cx, cy = l.XY(prev)
+		}
 	}
 	res.Delivered = true
 	return res

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/election"
+	"repro/internal/fault"
 	"repro/internal/geom"
 	"repro/internal/graph"
 	"repro/internal/hng"
@@ -217,6 +218,18 @@ type EnergyInstance struct {
 // from fresh substreams per row.
 func (c *Ctx) Lifetime(key string, build func() *EnergyInstance) *EnergyInstance {
 	return Get(c.Cache, "lifetime|"+key, build)
+}
+
+// Faults returns the cached fault schedule for key, building it on first
+// use. key must identify every input of build (extend the source
+// structure's cache key and name the selector/fraction/stream). The build
+// must follow the Cache correctness rule: targeted victim orderings are
+// pure functions of the graph (no RNG at all), and random orderings must
+// consume their substream entirely (fault.Victims' one shuffle does) —
+// which is what makes schedules cache-eligible while the simulations
+// applying them never are.
+func (c *Ctx) Faults(key string, build func() *fault.Schedule) *fault.Schedule {
+	return Get(c.Cache, "fault|"+key, build)
 }
 
 // NNNet returns the cached NN-SENS network over the deployment. Unless

@@ -45,6 +45,18 @@ type EnergySink interface {
 	MessageDelivered(from, to NodeID)
 }
 
+// LossModel decides, per in-flight message, whether the channel loses it.
+// Consulted by Run at delivery time, before the destination handler lookup:
+// a lost message follows the same accounting contract as a drop to an
+// unregistered node — the sender's tx debit was already charged at Send
+// time, the receiver pays nothing, and no handler runs. Implementations own
+// their randomness (see fault.Bernoulli), keeping the network itself
+// deterministic.
+type LossModel interface {
+	// Lose reports whether the message from→to in flight at time now is lost.
+	Lose(from, to NodeID, now float64) bool
+}
+
 // Network is the event queue and node registry.
 type Network struct {
 	now      float64
@@ -59,15 +71,22 @@ type Network struct {
 	// MessageDelivered call per actual delivery (dropped messages get none).
 	Energy EnergySink
 
+	// Loss, when non-nil, is consulted per message at delivery time; lost
+	// messages count in Lost, charge no receive energy, and never reach a
+	// handler. Send-side accounting is unaffected.
+	Loss LossModel
+
 	// Counters. The accounting contract — relied on by the energy debits
 	// hanging off Send/delivery — is: MessagesSent increments at Send time,
-	// unconditionally; MessagesDelivered and Dropped increment at delivery
-	// time, when the destination's handler is looked up. A message to a node
-	// that is never registered is thus Sent immediately but only Dropped once
-	// its delivery event is processed by Run; before that it sits in Pending.
+	// unconditionally; MessagesDelivered, Dropped and Lost increment at
+	// delivery time, when the loss model and the destination's handler are
+	// consulted. A message to a node that is never registered is thus Sent
+	// immediately but only Dropped once its delivery event is processed by
+	// Run; before that it sits in Pending.
 	MessagesSent      int
 	MessagesDelivered int
 	Dropped           int // messages to unregistered nodes, counted at delivery time
+	Lost              int // messages eaten by the Loss model, counted at delivery time
 }
 
 type event struct {
@@ -87,6 +106,13 @@ func (n *Network) Now() float64 { return n.now }
 
 // Register installs the handler for a node, replacing any previous one.
 func (n *Network) Register(id NodeID, h Handler) { n.handlers[id] = h }
+
+// Kill unregisters a node, modeling a crash-stop failure: messages already
+// in flight to it (and any sent later) are Dropped at delivery time with
+// the sender's tx debit spent and no rx debit — the exact accounting
+// contract documented on Send for never-registered destinations. Killing
+// an unknown node is a no-op.
+func (n *Network) Kill(id NodeID) { delete(n.handlers, id) }
 
 // Send schedules delivery of a message after the network delay. It counts
 // toward MessagesSent (and charges the Energy sink's tx debit) immediately,
@@ -133,6 +159,10 @@ func (n *Network) Run(maxEvents int) int {
 		processed++
 		if e.timer != nil {
 			e.timer(n)
+			continue
+		}
+		if n.Loss != nil && n.Loss.Lose(e.msg.From, e.msg.To, n.now) {
+			n.Lost++
 			continue
 		}
 		h, ok := n.handlers[e.msg.To]

@@ -270,3 +270,96 @@ func TestEventHeapPushPopNoBoxing(t *testing.T) {
 		t.Errorf("event heap allocates %.2f per push/pop cycle, want 0", a)
 	}
 }
+
+// TestKillThenSendDropAccounting pins the crash-stop contract when the node
+// dies before the message is sent: the sender's tx debit is charged at Send
+// time, the drop is counted at delivery time, and no rx debit fires.
+func TestKillThenSendDropAccounting(t *testing.T) {
+	net := New()
+	rec := &recorderSink{}
+	net.Energy = rec
+	net.Register(1, HandlerFunc(func(*Network, Message) {
+		t.Fatal("dead node's handler ran")
+	}))
+	net.Kill(1)
+	net.Send(0, 1, "to the dead")
+	if net.MessagesSent != 1 || len(rec.events) != 1 || rec.events[0] != "tx" {
+		t.Fatalf("send accounting: sent=%d events=%v, want 1/[tx]", net.MessagesSent, rec.events)
+	}
+	if net.Dropped != 0 {
+		t.Fatalf("drop counted before delivery time: %d", net.Dropped)
+	}
+	net.Run(0)
+	if net.Dropped != 1 || net.MessagesDelivered != 0 {
+		t.Fatalf("after run: dropped=%d delivered=%d, want 1/0", net.Dropped, net.MessagesDelivered)
+	}
+	if len(rec.events) != 1 { // still just the tx — no rx for a drop
+		t.Fatalf("events = %v, want [tx]", rec.events)
+	}
+}
+
+// TestSendThenKillDropAccounting pins the other callback order: the message
+// is already in flight when the node crashes. The tx debit stands, the
+// in-flight message is Dropped when Run reaches it, and the receiver pays
+// nothing.
+func TestSendThenKillDropAccounting(t *testing.T) {
+	net := New()
+	rec := &recorderSink{}
+	net.Energy = rec
+	net.Register(1, HandlerFunc(func(*Network, Message) {
+		t.Fatal("dead node's handler ran")
+	}))
+	net.Send(0, 1, "in flight")
+	net.Kill(1)
+	net.Run(0)
+	if net.MessagesSent != 1 || net.Dropped != 1 || net.MessagesDelivered != 0 {
+		t.Fatalf("sent=%d dropped=%d delivered=%d, want 1/1/0",
+			net.MessagesSent, net.Dropped, net.MessagesDelivered)
+	}
+	want := []string{"tx"}
+	if len(rec.events) != len(want) || rec.events[0] != "tx" {
+		t.Fatalf("events = %v, want %v", rec.events, want)
+	}
+	// Killing twice, or killing an unknown node, stays a no-op.
+	net.Kill(1)
+	net.Kill(42)
+}
+
+// TestLossModelAccounting pins the loss hook's place in the contract: loss
+// is decided at delivery time, after the tx debit, before the handler
+// lookup — so a lost message charges tx, no rx, and counts in Lost (not
+// Dropped, which stays reserved for unregistered destinations).
+func TestLossModelAccounting(t *testing.T) {
+	net := New()
+	rec := &recorderSink{}
+	net.Energy = rec
+	calls := 0
+	net.Loss = lossFunc(func(from, to NodeID, now float64) bool {
+		calls++
+		return calls == 1 // lose exactly the first message
+	})
+	got := 0
+	net.Register(1, HandlerFunc(func(*Network, Message) { got++ }))
+	net.Send(0, 1, "lost")
+	net.Send(0, 1, "delivered")
+	net.Send(0, 99, "dropped") // loss model consulted, then no handler
+	net.Run(0)
+	if net.Lost != 1 || net.MessagesDelivered != 1 || net.Dropped != 1 || got != 1 {
+		t.Fatalf("lost=%d delivered=%d dropped=%d handler=%d, want 1/1/1/1",
+			net.Lost, net.MessagesDelivered, net.Dropped, got)
+	}
+	want := []string{"tx", "tx", "tx", "rx"} // one rx total: only the delivery
+	if len(rec.events) != len(want) {
+		t.Fatalf("events = %v, want %v", rec.events, want)
+	}
+	for i := range want {
+		if rec.events[i] != want[i] {
+			t.Fatalf("events = %v, want %v", rec.events, want)
+		}
+	}
+}
+
+// lossFunc adapts a function to LossModel for tests.
+type lossFunc func(from, to NodeID, now float64) bool
+
+func (f lossFunc) Lose(from, to NodeID, now float64) bool { return f(from, to, now) }

@@ -1,0 +1,24 @@
+package stats
+
+import "math"
+
+// JainFairness returns Jain's fairness index (Σx)² / (n·Σx²) over the
+// samples: 1 when every share is equal, 1/n when one sample holds
+// everything — the standard evenness-of-allocation metric, used by the
+// lifetime scenarios to report how evenly residual energy is spread beside
+// the first-death round. Returns NaN for an empty slice; an all-zero
+// population is perfectly even and scores 1.
+func JainFairness(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum, sumsq float64
+	for _, x := range xs {
+		sum += x
+		sumsq += x * x
+	}
+	if sumsq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumsq)
+}

@@ -1,0 +1,54 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestJainFairnessEqualShares(t *testing.T) {
+	for _, n := range []int{1, 2, 10, 100} {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = 3.7
+		}
+		if got := JainFairness(xs); math.Abs(got-1) > 1e-12 {
+			t.Errorf("n=%d equal shares: %v, want 1", n, got)
+		}
+	}
+}
+
+func TestJainFairnessSingleHolder(t *testing.T) {
+	// One sample holds everything: index = 1/n.
+	xs := make([]float64, 8)
+	xs[3] = 5
+	if got, want := JainFairness(xs), 1.0/8; math.Abs(got-want) > 1e-12 {
+		t.Errorf("single holder: %v, want %v", got, want)
+	}
+}
+
+func TestJainFairnessKnownValue(t *testing.T) {
+	// (1+2+3)² / (3·(1+4+9)) = 36/42.
+	xs := []float64{1, 2, 3}
+	if got, want := JainFairness(xs), 36.0/42; math.Abs(got-want) > 1e-12 {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestJainFairnessEdgeCases(t *testing.T) {
+	if got := JainFairness(nil); !math.IsNaN(got) {
+		t.Errorf("empty: %v, want NaN", got)
+	}
+	if got := JainFairness([]float64{0, 0, 0}); got != 1 {
+		t.Errorf("all-zero: %v, want 1", got)
+	}
+	// Scale invariance: Jain(c·x) == Jain(x).
+	a := JainFairness([]float64{1, 5, 2, 0.5})
+	b := JainFairness([]float64{10, 50, 20, 5})
+	if math.Abs(a-b) > 1e-12 {
+		t.Errorf("not scale invariant: %v vs %v", a, b)
+	}
+	// Bounds: 1/n ≤ J ≤ 1 for nonnegative samples.
+	if a < 0.25 || a > 1 {
+		t.Errorf("index %v outside [1/n, 1]", a)
+	}
+}

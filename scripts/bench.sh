@@ -9,7 +9,10 @@
 #                               BENCH_baseline.json). Ratios > 1 are
 #                               regressions; >1.10 time ratios are flagged
 #                               with a REGRESSION marker and summarized, and
-#                               exit non-zero when BENCH_STRICT=1.
+#                               exit non-zero when BENCH_STRICT=1. Any
+#                               allocs/op growth is flagged ALLOC-REGRESSION
+#                               and exits non-zero when BENCH_STRICT_ALLOCS=1
+#                               (time stays advisory under that gate).
 # bench.sh --scenarios [out]  — run the scenario engine (cmd/experiments,
 #                               jsonl sink, reduced scale) and serialize the
 #                               per-scenario wall times as JSON (default
@@ -106,6 +109,11 @@ FNR == NR && /"name"/ { parse($0); base_ns[name] = ns; base_al[name] = allocs; n
     ar = (base_al[name] > 0) ? allocs / base_al[name] : 1
     flag = ""
     if (tr > 1.10) { flag = "  <<< REGRESSION >10%"; regressions++ }
+    # Alloc counts are deterministic (unlike timings), so any growth at all
+    # is a real regression; the 1% slack only absorbs baseline rounding.
+    if (ar > 1.01 || (base_al[name] == 0 && allocs > 0)) {
+        flag = flag "  <<< ALLOC-REGRESSION"; alloc_regressions++
+    }
     printf "%-32s time %12.0f -> %12.0f ns/op (x%5.2f)  allocs %9d -> %9d (x%5.2f)%s\n",
         name, base_ns[name], ns, tr, base_al[name], allocs, ar, flag
 }
@@ -118,13 +126,24 @@ END {
         printf "\n%d benchmark(s) regressed >10%% in time\n", regressions
     else
         printf "\nno benchmark regressed >10%% in time\n"
+    if (alloc_regressions > 0)
+        printf "%d benchmark(s) regressed in allocs/op\n", alloc_regressions
+    else
+        printf "no benchmark regressed in allocs/op\n"
 }' "$baseline" "$fresh" > "$cmp"
     cat "$cmp"
     # BENCH_STRICT=1 turns flags into a failing exit for CI pipelines that
     # want a hard gate (the default stays advisory: -benchtime=1x timings
     # are noisy on busy machines).
-    if [ "${BENCH_STRICT:-0}" = "1" ] && grep -q "REGRESSION" "$cmp"; then
+    if [ "${BENCH_STRICT:-0}" = "1" ] && grep -q "<<< REGRESSION" "$cmp"; then
         echo "bench.sh: BENCH_STRICT=1 and regressions found" >&2
+        exit 1
+    fi
+    # BENCH_STRICT_ALLOCS=1 gates on allocation growth alone: alloc counts
+    # are machine-independent, so this gate is reliable even where timings
+    # are too noisy for BENCH_STRICT.
+    if [ "${BENCH_STRICT_ALLOCS:-0}" = "1" ] && grep -q "ALLOC-REGRESSION" "$cmp"; then
+        echo "bench.sh: BENCH_STRICT_ALLOCS=1 and allocation regressions found" >&2
         exit 1
     fi
     exit 0
