@@ -34,20 +34,26 @@ test:
 # test-race runs the concurrency-bearing packages under the race detector:
 # the parallel fan-out primitives, the engine's shared cache and
 # jobs-bounded scenario execution, the discrete-event simulator (whose
-# energy sink now hangs off Send/deliver), the energy subsystem, and the
+# energy sink now hangs off Send/deliver), the energy subsystem, the
 # fault-injection layer whose schedules are shared across parallel scenario
-# rows. Short mode: race instrumentation makes the golden-scale suites
-# several times slower, and the data-race surface is fully exercised by the
-# short tests.
+# rows, and the mobility sampler whose trajectories are likewise cached and
+# replayed from parallel rows. Short mode: race instrumentation makes the
+# golden-scale suites several times slower, and the data-race surface is
+# fully exercised by the short tests.
 test-race:
-	$(GO) test -race -short ./internal/parallel ./internal/scenario ./internal/simnet ./internal/energy ./internal/fault
+	$(GO) test -race -short ./internal/parallel ./internal/scenario ./internal/simnet ./internal/energy ./internal/fault ./internal/mobility
 
-# fuzz-smoke runs the fault-schedule fuzz target for a few seconds: the
-# builder must never panic and alive-sets must shrink monotonically for any
-# input. Ten seconds is a smoke test, not a campaign — run longer fuzzes
-# with 'go test ./internal/fault -fuzz=FuzzSchedule' directly.
+# fuzz-smoke runs the fuzz targets for a few seconds each: the
+# fault-schedule builder must never panic and alive-sets must shrink
+# monotonically for any input; trajectory sampling must keep every position
+# inside the box and the kinetic spatial index consistent with brute force
+# under arbitrary move sequences. Ten seconds is a smoke test, not a
+# campaign — run longer fuzzes with 'go test ./internal/fault
+# -fuzz=FuzzSchedule' or 'go test ./internal/mobility -fuzz=FuzzTrajectory'
+# directly.
 fuzz-smoke:
 	$(GO) test ./internal/fault -run='^$$' -fuzz=FuzzSchedule -fuzztime=10s
+	$(GO) test ./internal/mobility -run='^$$' -fuzz=FuzzTrajectory -fuzztime=10s
 
 # bench runs every benchmark once with allocation reporting — the quick
 # "did I regress the pipeline" check.

@@ -148,7 +148,7 @@ func TestPublicBaselines(t *testing.T) {
 
 func TestPublicExperimentAccess(t *testing.T) {
 	ids := sensnet.ExperimentIDs()
-	if len(ids) != 27 || ids[0] != "E01" || ids[17] != "E18" || ids[20] != "H03" || ids[26] != "R03" {
+	if len(ids) != 30 || ids[0] != "E01" || ids[17] != "E18" || ids[20] != "H03" || ids[26] != "R03" || ids[29] != "M03" {
 		t.Fatalf("ExperimentIDs = %v", ids)
 	}
 	tab := sensnet.RunExperiment("E01", sensnet.ExperimentConfig{Seed: 5, Scale: 0.1})
@@ -213,8 +213,8 @@ func TestPublicDeployGradient(t *testing.T) {
 
 func TestPublicScenarioSurface(t *testing.T) {
 	scs := sensnet.Scenarios()
-	if len(scs) != 27 {
-		t.Fatalf("want 27 registered scenarios, got %d", len(scs))
+	if len(scs) != 30 {
+		t.Fatalf("want 30 registered scenarios, got %d", len(scs))
 	}
 	if len(sensnet.ScenarioTags()) == 0 {
 		t.Error("no scenario tags registered")
@@ -227,10 +227,15 @@ func TestPublicScenarioSurface(t *testing.T) {
 	if err != nil || len(hngScs) != 3 {
 		t.Fatalf("MatchScenarios(tag:topology:hng) = %d, %v", len(hngScs), err)
 	}
-	// Q01–Q03 plus R02, which rides the lifetime machinery.
+	// Q01–Q03 plus R02 and M03, which ride the lifetime machinery.
 	energyScs, err := sensnet.MatchScenarios("tag:energy")
-	if err != nil || len(energyScs) != 4 {
+	if err != nil || len(energyScs) != 5 {
 		t.Fatalf("MatchScenarios(tag:energy) = %d, %v", len(energyScs), err)
+	}
+	// The M01–M03 moving-node family.
+	mobileScs, err := sensnet.MatchScenarios("tag:mobility")
+	if err != nil || len(mobileScs) != 3 {
+		t.Fatalf("MatchScenarios(tag:mobility) = %d, %v", len(mobileScs), err)
 	}
 	// E18 (density robustness) plus the R01–R03 attack family.
 	robustScs, err := sensnet.MatchScenarios("tag:robustness")

@@ -263,3 +263,17 @@ func BenchmarkR02LifetimeUnderAttack(b *testing.B) { runExperiment(b, "R02") }
 // BenchmarkR03LossRetry regenerates R03: the per-link loss × retry-policy
 // sweep on the percolated-lattice router.
 func BenchmarkR03LossRetry(b *testing.B) { runExperiment(b, "R03") }
+
+// BenchmarkM01RepairCost regenerates M01: incremental repair cost vs
+// displacement across the kinetic maintainers (the dirty-region claim; the
+// paired internal/core RepairIncremental/RebuildFull benchmarks give the
+// same contrast as raw per-op cost).
+func BenchmarkM01RepairCost(b *testing.B) { runExperiment(b, "M01") }
+
+// BenchmarkM02Drift regenerates M02: connectivity and stretch drift under
+// sustained waypoint motion.
+func BenchmarkM02Drift(b *testing.B) { runExperiment(b, "M02") }
+
+// BenchmarkM03MobileLifetime regenerates M03: the Q01 lifetime head-to-head
+// on a moving network maintained incrementally while batteries drain.
+func BenchmarkM03MobileLifetime(b *testing.B) { runExperiment(b, "M03") }

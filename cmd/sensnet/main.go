@@ -8,6 +8,7 @@
 //	sensnet -kind udg -mode relaxed -lambda 4 -render
 //	sensnet -kind nn -k 188 -a 0.893 -tiles 5 -json
 //	sensnet -kind udg -side 14 -faults crash:0.1,loss:0.05,attack:degree
+//	sensnet -kind udg -side 14 -mobility model:waypoint,speed:0.05,pause:2,steps:40
 package main
 
 import (
@@ -19,7 +20,9 @@ import (
 	"strings"
 
 	sensnet "repro"
+	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/mobility"
 	"repro/internal/tiling"
 )
 
@@ -58,6 +61,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		render  = fs.Bool("render", false, "render the tile map (good/bad) as ASCII")
 		tilefig = fs.Bool("tilefig", false, "render the tile region layout (paper Fig. 3 / Fig. 5) and exit")
 		faults  = fs.String("faults", "", "fault spec, e.g. crash:0.1,loss:0.05,attack:degree (attack: random | degree | betweenness)")
+		mob     = fs.String("mobility", "", "mobility spec, e.g. model:waypoint,speed:0.05,pause:2,steps:40 (model: waypoint | direction)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -120,12 +124,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	var msum *mobilitySummary
+	if *mob != "" {
+		msum, err = applyMobility(net, *mob, *seed)
+		if err != nil {
+			return fail("%v", err)
+		}
+	}
+
 	if *asJSON {
-		if err := emitJSON(stdout, net, fsum); err != nil {
+		if err := emitJSON(stdout, net, fsum, msum); err != nil {
 			return fail("encode: %v", err)
 		}
 	} else {
-		emitText(stdout, net, fsum)
+		emitText(stdout, net, fsum, msum)
 	}
 	if *render {
 		fmt.Fprintln(stdout)
@@ -205,6 +217,105 @@ func applyFaults(net *sensnet.Network, spec string, seed uint64) (*faultSummary,
 	}, nil
 }
 
+// mobilitySummary is the motion block emitted when -mobility is given: a
+// sampled trajectory replayed through the incremental maintainer, with the
+// repair work it cost and the equivalence gate's verdict.
+type mobilitySummary struct {
+	Model             string  `json:"model"`
+	Speed             float64 `json:"speed"`
+	Pause             int     `json:"pause"`
+	Steps             int     `json:"steps"`
+	Moves             int     `json:"moves"`
+	TileReelections   int     `json:"tileReelections"`
+	EdgeChanges       int     `json:"edgeChanges"`
+	GoodFractionStart float64 `json:"goodFractionStart"`
+	GoodFractionEnd   float64 `json:"goodFractionEnd"`
+	MatchesRebuild    bool    `json:"matchesRebuild"`
+}
+
+// parseMobility parses "model:M,speed:S,pause:P,steps:N" (any subset, any
+// order) over the package defaults and validates the result.
+func parseMobility(spec string) (mobility.Spec, error) {
+	ms := mobility.DefaultSpec()
+	for _, part := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return ms, fmt.Errorf("bad -mobility entry %q (want key:value)", part)
+		}
+		switch key {
+		case "model":
+			m, err := mobility.ParseModel(val)
+			if err != nil {
+				return ms, fmt.Errorf("bad -mobility model: %v", err)
+			}
+			ms.Model = m
+		case "speed":
+			if _, err := fmt.Sscanf(val, "%g", &ms.Speed); err != nil {
+				return ms, fmt.Errorf("bad -mobility speed %q", val)
+			}
+		case "pause":
+			if _, err := fmt.Sscanf(val, "%d", &ms.Pause); err != nil {
+				return ms, fmt.Errorf("bad -mobility pause %q", val)
+			}
+		case "steps":
+			if _, err := fmt.Sscanf(val, "%d", &ms.Steps); err != nil {
+				return ms, fmt.Errorf("bad -mobility steps %q", val)
+			}
+		default:
+			return ms, fmt.Errorf("unknown -mobility key %q (want model | speed | pause | steps)", key)
+		}
+	}
+	if err := ms.Validate(); err != nil {
+		return ms, fmt.Errorf("-mobility: %v", err)
+	}
+	return ms, nil
+}
+
+// mobilityStream is the substream the CLI's trajectory is sampled from —
+// disjoint from the deployment draw on the same seed.
+const mobilityStream = 9
+
+// applyMobility samples a trajectory for the deployment and replays it
+// through the kinetic maintainer, then cross-checks the maintained
+// structure against a from-scratch build at the final positions (the
+// equivalence gate). Only UDG-SENS networks support incremental
+// maintenance, so -kind nn combined with -mobility fails.
+func applyMobility(net *sensnet.Network, spec string, seed uint64) (*mobilitySummary, error) {
+	ms, err := parseMobility(spec)
+	if err != nil {
+		return nil, err
+	}
+	k, err := core.NewKinetic(net, core.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("-mobility: %v", err)
+	}
+	traj := mobility.Sample(net.Pts, net.Box, ms, sensnet.Seed(seed), mobilityStream)
+	for _, step := range traj.Steps {
+		for _, mv := range step {
+			k.Move(mv.Node, mv.To)
+		}
+	}
+	stats := k.Stats()
+	matches := false
+	if ref, err := core.BuildUDG(k.Positions(), net.Box, *net.UDGSpec,
+		core.Options{SkipBase: true}); err == nil {
+		matches = graph.Equal(k.Materialize(), ref.Graph)
+	}
+	tiles := float64(net.Stats.Tiles)
+	return &mobilitySummary{
+		Model:             ms.Model.String(),
+		Speed:             ms.Speed,
+		Pause:             ms.Pause,
+		Steps:             ms.Steps,
+		Moves:             traj.TotalMoves(),
+		TileReelections:   stats.TileRecomputes,
+		EdgeChanges:       stats.EdgeChanges,
+		GoodFractionStart: net.GoodFraction(),
+		GoodFractionEnd:   float64(k.GoodTiles()) / tiles,
+		MatchesRebuild:    matches,
+	}, nil
+}
+
 type summary struct {
 	Kind             string  `json:"kind"`
 	Points           int     `json:"points"`
@@ -220,7 +331,8 @@ type summary struct {
 	HandshakeFails   int     `json:"handshakeFailures"`
 	DegreeHistogram  []int   `json:"degreeHistogram"`
 
-	Faults *faultSummary `json:"faults,omitempty"`
+	Faults   *faultSummary    `json:"faults,omitempty"`
+	Mobility *mobilitySummary `json:"mobility,omitempty"`
 }
 
 func summarize(net *sensnet.Network) summary {
@@ -241,15 +353,16 @@ func summarize(net *sensnet.Network) summary {
 	}
 }
 
-func emitJSON(w io.Writer, net *sensnet.Network, fsum *faultSummary) error {
+func emitJSON(w io.Writer, net *sensnet.Network, fsum *faultSummary, msum *mobilitySummary) error {
 	s := summarize(net)
 	s.Faults = fsum
+	s.Mobility = msum
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(s)
 }
 
-func emitText(w io.Writer, net *sensnet.Network, fsum *faultSummary) {
+func emitText(w io.Writer, net *sensnet.Network, fsum *faultSummary, msum *mobilitySummary) {
 	s := summarize(net)
 	fmt.Fprintf(w, "%s\n", net)
 	fmt.Fprintf(w, "  deployment:        %d points\n", s.Points)
@@ -268,6 +381,22 @@ func emitText(w io.Writer, net *sensnet.Network, fsum *faultSummary) {
 		fmt.Fprintf(w, "  crashed:           %d of %d members\n", fsum.Crashed, s.Members)
 		fmt.Fprintf(w, "  surviving LCC:     %.1f%% of members\n", 100*fsum.SurvivingLCC)
 		fmt.Fprintf(w, "  per-hop loss:      %.2f\n", fsum.LossRate)
+	}
+	if msum != nil {
+		match := "yes"
+		if !msum.MatchesRebuild {
+			match = "NO"
+		}
+		fmt.Fprintf(w, "mobility:\n")
+		fmt.Fprintf(w, "  model:             %s (speed %g/step, pause %d, %d steps)\n",
+			msum.Model, msum.Speed, msum.Pause, msum.Steps)
+		fmt.Fprintf(w, "  moves applied:     %d\n", msum.Moves)
+		fmt.Fprintf(w, "  tile re-elections: %d (full rebuild re-elects %d per step)\n",
+			msum.TileReelections, net.Stats.Tiles)
+		fmt.Fprintf(w, "  edge changes:      %d\n", msum.EdgeChanges)
+		fmt.Fprintf(w, "  good tiles:        %.1f%% -> %.1f%%\n",
+			100*msum.GoodFractionStart, 100*msum.GoodFractionEnd)
+		fmt.Fprintf(w, "  matches rebuild:   %s\n", match)
 	}
 }
 

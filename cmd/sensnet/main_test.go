@@ -163,6 +163,70 @@ func TestFaultsFlagErrors(t *testing.T) {
 	}
 }
 
+// TestMobilityFlag pins the -mobility motion block: a valid spec replays a
+// trajectory through the kinetic maintainer, reports the repair work, and
+// the maintained structure matches a from-scratch rebuild at the final
+// positions. The block rides the JSON summary too.
+func TestMobilityFlag(t *testing.T) {
+	out, _, code := runCLI(t, "-kind", "udg", "-side", "12", "-seed", "3",
+		"-mobility", "model:direction,speed:0.1,pause:1,steps:5")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	for _, want := range []string{"mobility:", "direction", "moves applied:",
+		"tile re-elections:", "edge changes:", "good tiles:", "matches rebuild:   yes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("mobility block missing %q:\n%s", want, out)
+		}
+	}
+
+	jout, _, code := runCLI(t, "-kind", "udg", "-side", "12", "-seed", "3", "-json",
+		"-mobility", "speed:0.2,steps:4")
+	if code != 0 {
+		t.Fatalf("json exit %d", code)
+	}
+	var s summary
+	if err := json.Unmarshal([]byte(jout), &s); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, jout)
+	}
+	if s.Mobility == nil {
+		t.Fatalf("JSON summary missing mobility block:\n%s", jout)
+	}
+	if s.Mobility.Model != "waypoint" || s.Mobility.Moves == 0 ||
+		s.Mobility.TileReelections == 0 || !s.Mobility.MatchesRebuild {
+		t.Errorf("mobility block = %+v", s.Mobility)
+	}
+	// Without -mobility the block stays out of the JSON contract.
+	jout, _, _ = runCLI(t, "-kind", "udg", "-side", "12", "-seed", "3", "-json")
+	if strings.Contains(jout, `"mobility"`) {
+		t.Errorf("mobility block present without -mobility:\n%s", jout)
+	}
+}
+
+// TestMobilityFlagErrors: malformed specs — and the unsupported NN kind —
+// exit 1 with a -mobility diagnostic.
+func TestMobilityFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-kind", "udg", "-side", "12", "-mobility", "model:teleport"},
+		{"-kind", "udg", "-side", "12", "-mobility", "speed:-1"},
+		{"-kind", "udg", "-side", "12", "-mobility", "speed:fast"},
+		{"-kind", "udg", "-side", "12", "-mobility", "steps:-3"},
+		{"-kind", "udg", "-side", "12", "-mobility", "warp:9"},
+		{"-kind", "udg", "-side", "12", "-mobility", "model=waypoint"},
+		{"-kind", "nn", "-tiles", "3", "-mobility", "model:waypoint,steps:2"},
+	}
+	for _, args := range cases {
+		args = append(args, "-seed", "3")
+		_, errOut, code := runCLI(t, args...)
+		if code != 1 {
+			t.Errorf("%v: exit %d, want 1", args, code)
+		}
+		if !strings.Contains(errOut, "-mobility") {
+			t.Errorf("%v: stderr %q lacks a -mobility diagnostic", args, errOut)
+		}
+	}
+}
+
 func TestErrorPaths(t *testing.T) {
 	cases := [][]string{
 		{"-kind", "marble"},

@@ -1,0 +1,370 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/election"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/tiling"
+)
+
+// KineticStats counts the repair work a Kinetic has performed. All counters
+// accumulate until ResetStats.
+type KineticStats struct {
+	// TileRecomputes is the number of per-tile re-elections (classify the
+	// tile's live members into the five regions, re-run the five leader
+	// elections).
+	TileRecomputes int
+	// ContribRecomputes is the number of per-tile edge-contribution lists
+	// that changed and were swapped in the delta overlay.
+	ContribRecomputes int
+	// EdgeChanges is the number of individual edge insertions plus removals
+	// applied to the delta overlay.
+	EdgeChanges int
+}
+
+// Kinetic maintains a UDG-SENS network incrementally under node motion and
+// death. The invariant it preserves is exact structural equivalence: after
+// any sequence of Move and Remove calls, Materialize returns edge-for-edge
+// the graph that BuildUDG would produce from scratch at the current
+// positions with the current alive mask (and SkipBase).
+//
+// The repair is dirty-tile local. Elections are deterministic functions of
+// a tile's member set, and a tile's contribution to the network — its four
+// rep↔relay edges plus the Right/Top boundary edges it owns — depends only
+// on its own elected nodes and the goodness of its Right/Top neighbors. A
+// single move therefore dirties at most two tiles (source and destination),
+// and at most their Left/Bottom neighbors need their contributions
+// re-derived: O(1) tiles per event, independent of the network size.
+//
+// The maintainer requires geometry-guaranteed edges: in GeometryRelaxed
+// mode with a base graph present, handshakes can drop edges in a way that
+// depends on the full deployment, which breaks tile locality; NewKinetic
+// rejects that combination.
+type Kinetic struct {
+	spec  tiling.UDGSpec
+	gm    *tiling.UDGGeometry
+	alg   election.Algorithm
+	m     tiling.Map
+	box   geom.Rect
+	pts   []geom.Point
+	alive []bool
+
+	// members holds the live point indices of each occupied mapped tile in
+	// ascending order — the exact candidate ordering AssignTiles produces,
+	// so re-elections reproduce the from-scratch results bit for bit.
+	members map[tiling.Coord][]int32
+	tiles   map[tiling.Coord]*TileNodes
+	// contrib holds, per tile, the packed edges this tile currently
+	// contributes to the network. Contributions are pairwise disjoint: an
+	// internal edge belongs to its tile, a boundary edge to the tile on its
+	// Left/Bottom side.
+	contrib map[tiling.Coord][]uint64
+
+	delta *graph.Delta
+	stats KineticStats
+
+	esc     election.Scratch
+	local   []geom.Point
+	regions [5][]int32
+	dirty   map[tiling.Coord]struct{}
+	cdirty  map[tiling.Coord]struct{}
+	swaps   []contribSwap
+}
+
+type contribSwap struct {
+	c    tiling.Coord
+	next []uint64
+}
+
+// NewKinetic wraps a freshly built UDG-SENS network for incremental
+// maintenance. opt must be the Options the network was built with (the
+// election algorithm and alive mask must match for re-elections to
+// reproduce the original results).
+func NewKinetic(n *Network, opt Options) (*Kinetic, error) {
+	if n.Kind != KindUDG || n.UDGSpec == nil {
+		return nil, fmt.Errorf("sens: kinetic maintenance requires a UDG-SENS network")
+	}
+	if n.Base != nil && n.UDGSpec.Mode == tiling.GeometryRelaxed {
+		return nil, fmt.Errorf("sens: kinetic maintenance requires geometry-guaranteed edges; relaxed mode with a base graph can drop edges non-locally")
+	}
+	k := &Kinetic{
+		spec:    *n.UDGSpec,
+		gm:      n.UDGSpec.Compile(),
+		alg:     opt.Election,
+		m:       n.Map,
+		box:     n.Box,
+		pts:     append([]geom.Point(nil), n.Pts...),
+		alive:   make([]bool, len(n.Pts)),
+		members: make(map[tiling.Coord][]int32),
+		tiles:   make(map[tiling.Coord]*TileNodes),
+		contrib: make(map[tiling.Coord][]uint64),
+		dirty:   make(map[tiling.Coord]struct{}),
+		cdirty:  make(map[tiling.Coord]struct{}),
+		delta:   graph.NewDelta(n.Graph),
+	}
+	for i := range k.alive {
+		k.alive[i] = opt.Alive == nil || opt.Alive[i]
+	}
+	for c, idx := range tiling.AssignTiles(k.m, k.pts) {
+		var own []int32
+		for _, i := range idx {
+			if k.alive[i] {
+				own = append(own, i)
+			}
+		}
+		if len(own) > 0 {
+			k.members[c] = own
+		}
+	}
+	for c, tn := range n.Tiles {
+		cp := *tn
+		k.tiles[c] = &cp
+	}
+	for c := range k.tiles {
+		if e := k.contribution(c, nil); len(e) > 0 {
+			k.contrib[c] = e
+		}
+	}
+	return k, nil
+}
+
+// Positions returns the current node positions. Read-only for callers.
+func (k *Kinetic) Positions() []geom.Point { return k.pts }
+
+// AliveMask returns the current alive flags. Read-only for callers.
+func (k *Kinetic) AliveMask() []bool { return k.alive }
+
+// Box returns the deployment region the network was built over.
+func (k *Kinetic) Box() geom.Rect { return k.box }
+
+// Delta exposes the maintained edge overlay for structural queries without
+// materialization.
+func (k *Kinetic) Delta() *graph.Delta { return k.delta }
+
+// Materialize flattens the maintained overlay into an immutable CSR equal,
+// edge for edge, to a from-scratch BuildUDG at the current state.
+func (k *Kinetic) Materialize() *graph.CSR { return k.delta.Materialize() }
+
+// Stats returns the accumulated repair counters.
+func (k *Kinetic) Stats() KineticStats { return k.stats }
+
+// ResetStats returns the accumulated counters and zeroes them.
+func (k *Kinetic) ResetStats() KineticStats {
+	s := k.stats
+	k.stats = KineticStats{}
+	return s
+}
+
+// GoodTiles counts the currently good tiles.
+func (k *Kinetic) GoodTiles() int {
+	n := 0
+	for _, tn := range k.tiles {
+		if tn.Good {
+			n++
+		}
+	}
+	return n
+}
+
+// mappedTile returns the tile containing p and whether it lies inside the
+// mapped window.
+func (k *Kinetic) mappedTile(p geom.Point) (tiling.Coord, bool) {
+	c := k.m.Tiling.TileOf(p)
+	_, _, ok := k.m.Phi(c)
+	return c, ok
+}
+
+// memberInsert adds point i to tile c's member list, keeping it ascending.
+func (k *Kinetic) memberInsert(c tiling.Coord, i int32) {
+	list := k.members[c]
+	at := len(list)
+	for at > 0 && list[at-1] > i {
+		at--
+	}
+	list = append(list, 0)
+	copy(list[at+1:], list[at:])
+	list[at] = i
+	k.members[c] = list
+}
+
+// memberRemove deletes point i from tile c's member list (which must
+// contain it).
+func (k *Kinetic) memberRemove(c tiling.Coord, i int32) {
+	list := k.members[c]
+	for at, v := range list {
+		if v == i {
+			copy(list[at:], list[at+1:])
+			list = list[:len(list)-1]
+			break
+		}
+	}
+	if len(list) == 0 {
+		delete(k.members, c)
+	} else {
+		k.members[c] = list
+	}
+}
+
+// Move updates node u's position and repairs every structure the
+// displacement can affect. u must be alive.
+func (k *Kinetic) Move(u int32, p geom.Point) {
+	if !k.alive[u] {
+		panic("sens: Move on dead node")
+	}
+	oldC, oldOK := k.mappedTile(k.pts[u])
+	newC, newOK := k.mappedTile(p)
+	k.pts[u] = p
+	if oldOK && newOK && oldC == newC {
+		// Same tile, but the region classification may have changed.
+		k.dirty[oldC] = struct{}{}
+	} else {
+		if oldOK {
+			k.memberRemove(oldC, u)
+			k.dirty[oldC] = struct{}{}
+		}
+		if newOK {
+			k.memberInsert(newC, u)
+			k.dirty[newC] = struct{}{}
+		}
+	}
+	k.repair()
+}
+
+// Remove marks node u dead and repairs its tile. Removing a dead node is a
+// no-op.
+func (k *Kinetic) Remove(u int32) {
+	if !k.alive[u] {
+		return
+	}
+	k.alive[u] = false
+	if c, ok := k.mappedTile(k.pts[u]); ok {
+		k.memberRemove(c, u)
+		k.dirty[c] = struct{}{}
+		k.repair()
+	}
+}
+
+// recomputeTile re-derives tile c's TileNodes from its current live
+// members — the same classification and election pipeline as BuildUDG, over
+// the same ascending candidate order.
+func (k *Kinetic) recomputeTile(c tiling.Coord) {
+	k.stats.TileRecomputes++
+	idx := k.members[c]
+	if len(idx) == 0 {
+		delete(k.tiles, c)
+		return
+	}
+	k.local = tiling.LocalPoints(k.m, c, k.pts, idx, k.local)
+	for r := range k.regions {
+		k.regions[r] = k.regions[r][:0]
+	}
+	for i, p := range k.local {
+		switch r := k.gm.Classify(p); r {
+		case tiling.UC0:
+			k.regions[0] = append(k.regions[0], idx[i])
+		case tiling.URelayRight, tiling.URelayLeft, tiling.URelayTop, tiling.URelayBottom:
+			d := int(r - tiling.URelayRight)
+			k.regions[1+d] = append(k.regions[1+d], idx[i])
+		}
+	}
+	tn := &TileNodes{Population: len(idx), Rep: -1}
+	for d := range tn.Disk {
+		tn.Disk[d] = -1
+	}
+	var st Stats // incremental re-elections are not charged to build stats
+	tn.Rep = electRegion(k.alg, k.regions[0], &st, &k.esc)
+	good := tn.Rep >= 0
+	for d := 0; d < 4; d++ {
+		tn.Bridge[d] = electRegion(k.alg, k.regions[1+d], &st, &k.esc)
+		good = good && tn.Bridge[d] >= 0
+	}
+	tn.Good = good
+	k.tiles[c] = tn
+}
+
+// contribution appends tile c's owned edges to dst: rep↔relay for the four
+// directions plus the Right/Top boundary edges toward good neighbors — the
+// exact edge set BuildUDG emits while visiting c.
+func (k *Kinetic) contribution(c tiling.Coord, dst []uint64) []uint64 {
+	tn, ok := k.tiles[c]
+	if !ok || !tn.Good {
+		return dst
+	}
+	for d := range tiling.Directions {
+		dst = append(dst, graph.Pack(tn.Rep, tn.Bridge[d]))
+	}
+	for _, d := range []tiling.Direction{tiling.Right, tiling.Top} {
+		nb, ok := k.tiles[c.Neighbor(d)]
+		if !ok || !nb.Good {
+			continue
+		}
+		dst = append(dst, graph.Pack(tn.Bridge[d], nb.Bridge[d.Opposite()]))
+	}
+	return dst
+}
+
+// repair flushes the dirty-tile set: re-elect every dirty tile, then swap
+// the contribution lists of the dirty tiles and of their Left/Bottom
+// neighbors (the tiles whose boundary edges read a dirty tile's state).
+// Retractions run before emissions so an edge that migrates from one
+// tile's contribution to another's is never transiently double-counted.
+func (k *Kinetic) repair() {
+	if len(k.dirty) == 0 {
+		return
+	}
+	for c := range k.dirty {
+		k.recomputeTile(c)
+	}
+	for c := range k.dirty {
+		k.cdirty[c] = struct{}{}
+		k.cdirty[c.Neighbor(tiling.Left)] = struct{}{}
+		k.cdirty[c.Neighbor(tiling.Bottom)] = struct{}{}
+	}
+	clear(k.dirty)
+	k.swaps = k.swaps[:0]
+	for c := range k.cdirty {
+		next := k.contribution(c, nil)
+		if edgeListsEqual(k.contrib[c], next) {
+			continue
+		}
+		k.stats.ContribRecomputes++
+		k.swaps = append(k.swaps, contribSwap{c: c, next: next})
+	}
+	clear(k.cdirty)
+	for _, s := range k.swaps {
+		for _, e := range k.contrib[s.c] {
+			u, v := graph.Unpack(e)
+			if k.delta.RemoveEdge(u, v) {
+				k.stats.EdgeChanges++
+			}
+		}
+	}
+	for _, s := range k.swaps {
+		for _, e := range s.next {
+			u, v := graph.Unpack(e)
+			if k.delta.AddEdge(u, v) {
+				k.stats.EdgeChanges++
+			}
+		}
+		if len(s.next) == 0 {
+			delete(k.contrib, s.c)
+		} else {
+			k.contrib[s.c] = s.next
+		}
+	}
+}
+
+// edgeListsEqual reports whether two packed-edge lists are identical.
+func edgeListsEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

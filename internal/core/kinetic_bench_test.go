@@ -1,0 +1,106 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/pointprocess"
+	"repro/internal/rng"
+	"repro/internal/tiling"
+)
+
+// kineticBenchFixture builds the ~10k-node network the paired
+// repair-vs-rebuild benchmarks run on, plus a precomputed schedule of
+// small-displacement moves (δ well under the tile side, so most stay in
+// tile) to keep RNG out of the measured loop.
+func kineticBenchFixture(tb testing.TB) (*Network, geom.Rect, tiling.UDGSpec,
+	[]int32, []geom.Point) {
+	tb.Helper()
+	box := geom.Box(25, 25)
+	pts := pointprocess.Poisson(box, 16, rng.New(17))
+	spec := tiling.DefaultUDGSpec()
+	n, err := BuildUDG(pts, box, spec, Options{SkipBase: true})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	gen := rng.Sub(17, 5)
+	const sched = 4096
+	us := make([]int32, sched)
+	deltas := make([]geom.Point, sched)
+	for i := range us {
+		us[i] = int32(gen.IntN(len(pts)))
+		deltas[i] = geom.Point{
+			X: (gen.Float64()*2 - 1) * 0.1,
+			Y: (gen.Float64()*2 - 1) * 0.1,
+		}
+	}
+	return n, box, spec, us, deltas
+}
+
+// BenchmarkRepairIncremental measures one small-displacement Move through
+// the kinetic maintainer at ~10k nodes: the dirty-region cost the M01
+// scenario tabulates, as wall time and allocs/op. Its pair is
+// BenchmarkRebuildFull; the allocs/op gap is gated (≥5×) by
+// TestIncrementalRepairAllocAdvantage, while time stays advisory.
+func BenchmarkRepairIncremental(b *testing.B) {
+	n, box, _, us, deltas := kineticBenchFixture(b)
+	k, err := NewKinetic(n, Options{SkipBase: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(len(n.Pts)), "points")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := us[i%len(us)]
+		d := deltas[i%len(deltas)]
+		p := k.Positions()[u]
+		k.Move(u, box.Clamp(geom.Point{X: p.X + d.X, Y: p.Y + d.Y}))
+	}
+}
+
+// BenchmarkRebuildFull is the from-scratch counterpart: what one step costs
+// when the answer to any motion is a full BuildUDG at the new positions.
+func BenchmarkRebuildFull(b *testing.B) {
+	n, box, spec, _, _ := kineticBenchFixture(b)
+	b.ReportMetric(float64(len(n.Pts)), "points")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildUDG(n.Pts, box, spec, Options{SkipBase: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestIncrementalRepairAllocAdvantage is the machine-independent form of
+// the paired benchmarks' claim: at ~10k nodes, a small-displacement
+// incremental repair allocates at least 5× less than a from-scratch
+// rebuild. Allocation counts are deterministic, so this gate holds where
+// wall-time ratios would be noise on a loaded machine.
+func TestIncrementalRepairAllocAdvantage(t *testing.T) {
+	n, box, spec, us, deltas := kineticBenchFixture(t)
+	k, err := NewKinetic(n, Options{SkipBase: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	repair := testing.AllocsPerRun(200, func() {
+		u := us[i%len(us)]
+		d := deltas[i%len(deltas)]
+		i++
+		p := k.Positions()[u]
+		k.Move(u, box.Clamp(geom.Point{X: p.X + d.X, Y: p.Y + d.Y}))
+	})
+	rebuild := testing.AllocsPerRun(3, func() {
+		if _, err := BuildUDG(n.Pts, box, spec, Options{SkipBase: true}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("allocs/op: repair %.1f, rebuild %.1f (%.0fx)", repair, rebuild,
+		rebuild/max(repair, 1))
+	if rebuild < 5*repair {
+		t.Errorf("incremental repair allocates %.1f/op vs rebuild %.1f/op — want ≥5x advantage",
+			repair, rebuild)
+	}
+}

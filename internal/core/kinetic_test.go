@@ -1,0 +1,192 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/pointprocess"
+	"repro/internal/rng"
+	"repro/internal/tiling"
+)
+
+// checkKineticEquivalence asserts the equivalence gate: the kinetic
+// maintainer's materialized graph equals a from-scratch BuildUDG at the
+// same positions and alive mask, edge-for-edge.
+func checkKineticEquivalence(t *testing.T, k *Kinetic, spec tiling.UDGSpec, step int) {
+	t.Helper()
+	ref, err := BuildUDG(k.Positions(), k.Box(), spec, Options{SkipBase: true, Alive: k.AliveMask()})
+	if err != nil {
+		t.Fatalf("step %d: BuildUDG: %v", step, err)
+	}
+	got := k.Materialize()
+	if diff := graph.FirstDiff(got, ref.Graph); diff != "" {
+		t.Fatalf("step %d: incremental != rebuild: %s", step, diff)
+	}
+}
+
+// runKineticEquivalence drives random moves and deaths through a Kinetic
+// UDG-SENS maintainer and checks the gate after every batch.
+func runKineticEquivalence(t *testing.T, seed rng.Seed, lambda, side float64) {
+	t.Helper()
+	box := geom.Box(side, side)
+	pts := pointprocess.Poisson(box, lambda, rng.New(seed))
+	spec := tiling.DefaultUDGSpec()
+	opt := Options{SkipBase: true}
+	n, err := BuildUDG(pts, box, spec, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Stats.GoodTiles == 0 {
+		t.Fatal("no good tiles — test deployment too sparse to exercise repairs")
+	}
+	k, err := NewKinetic(n, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkKineticEquivalence(t, k, spec, -1)
+
+	gen := rng.Sub(seed, 7)
+	np := len(pts)
+	for step := 0; step < 20; step++ {
+		for op := 0; op < 6; op++ {
+			u := int32(gen.IntN(np))
+			if !k.AliveMask()[u] {
+				continue
+			}
+			switch {
+			case gen.Float64() < 0.1:
+				k.Remove(u)
+			case gen.Float64() < 0.15:
+				// Long jump anywhere in the box.
+				k.Move(u, geom.Point{X: gen.Float64() * side, Y: gen.Float64() * side})
+			default:
+				// Displacement on the tile scale: crosses boundaries and
+				// region borders but stays local.
+				p := k.Positions()[u]
+				p.X += (gen.Float64() - 0.5) * 1.2 * spec.Side
+				p.Y += (gen.Float64() - 0.5) * 1.2 * spec.Side
+				k.Move(u, box.Clamp(p))
+			}
+		}
+		checkKineticEquivalence(t, k, spec, step)
+	}
+	if k.Stats().TileRecomputes == 0 {
+		t.Fatal("no tile recomputes recorded — repairs are not happening")
+	}
+}
+
+func TestKineticSENSEquivalenceUnderMotion(t *testing.T) {
+	for _, gmp := range []int{1, 8} {
+		prev := runtime.GOMAXPROCS(gmp)
+		runKineticEquivalence(t, 41, 16, 12)
+		runtime.GOMAXPROCS(prev)
+	}
+}
+
+func TestKineticSENSEquivalenceSparse(t *testing.T) {
+	// Subcritical density: most tiles are bad, so repairs constantly flip
+	// tiles between good and bad and contributions appear and vanish.
+	runKineticEquivalence(t, 43, 6, 12)
+}
+
+func TestKineticSENSMassDeathReachesEmpty(t *testing.T) {
+	box := geom.Box(9, 9)
+	pts := pointprocess.Poisson(box, 14, rng.New(5))
+	spec := tiling.DefaultUDGSpec()
+	opt := Options{SkipBase: true}
+	n, err := BuildUDG(pts, box, spec, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := NewKinetic(n, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := rng.Sub(5, 2).Perm(len(pts))
+	for i, u := range order {
+		k.Remove(int32(u))
+		if i%19 == 0 || i == len(order)-1 {
+			checkKineticEquivalence(t, k, spec, i)
+		}
+	}
+	if got := k.Materialize(); got.EdgeCount != 0 {
+		t.Fatalf("graph not empty after all deaths: %d edges", got.EdgeCount)
+	}
+}
+
+func TestKineticSENSMaskedStart(t *testing.T) {
+	// Starting from a network built with a partial alive mask must stay on
+	// the gate as more nodes die and survivors move.
+	box := geom.Box(10, 10)
+	pts := pointprocess.Poisson(box, 16, rng.New(9))
+	alive := make([]bool, len(pts))
+	gen := rng.Sub(9, 1)
+	for i := range alive {
+		alive[i] = gen.Float64() < 0.8
+	}
+	spec := tiling.DefaultUDGSpec()
+	opt := Options{SkipBase: true, Alive: alive}
+	n, err := BuildUDG(pts, box, spec, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := NewKinetic(n, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkKineticEquivalence(t, k, spec, -1)
+	for step := 0; step < 40; step++ {
+		u := int32(gen.IntN(len(pts)))
+		if !k.AliveMask()[u] {
+			continue
+		}
+		if step%5 == 4 {
+			k.Remove(u)
+		} else {
+			p := k.Positions()[u]
+			p.X += (gen.Float64() - 0.5) * 2
+			p.Y += (gen.Float64() - 0.5) * 2
+			k.Move(u, box.Clamp(p))
+		}
+		checkKineticEquivalence(t, k, spec, step)
+	}
+}
+
+func TestKineticSENSStatsScaleWithRegion(t *testing.T) {
+	// A single move touches at most two tiles (plus their Left/Bottom
+	// neighbors' contributions) no matter how large the network is.
+	box := geom.Box(24, 24)
+	pts := pointprocess.Poisson(box, 16, rng.New(11))
+	spec := tiling.DefaultUDGSpec()
+	opt := Options{SkipBase: true}
+	n, err := BuildUDG(pts, box, spec, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := NewKinetic(n, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := rng.Sub(11, 3)
+	const trials = 60
+	k.ResetStats()
+	for i := 0; i < trials; i++ {
+		u := int32(gen.IntN(len(pts)))
+		if !k.AliveMask()[u] {
+			continue
+		}
+		p := k.Positions()[u]
+		p.X += (gen.Float64() - 0.5) * spec.Side
+		p.Y += (gen.Float64() - 0.5) * spec.Side
+		k.Move(u, box.Clamp(p))
+	}
+	s := k.ResetStats()
+	if perMove := float64(s.TileRecomputes) / trials; perMove > 2 {
+		t.Fatalf("moves re-elect %.2f tiles on average — repair is not localized", perMove)
+	}
+	if n.Stats.Tiles < 100 {
+		t.Fatalf("test network too small (%d tiles) to demonstrate locality", n.Stats.Tiles)
+	}
+}

@@ -114,6 +114,13 @@ type Options struct {
 	// 0. (The UDG repaired-mode construction is guaranteed valid anyway;
 	// use this to speed up large Monte-Carlo sweeps.)
 	SkipBase bool
+	// Alive optionally masks the deployment: a point with Alive[i] == false
+	// takes no part in classification or elections and stays an isolated
+	// vertex, while indices keep their meaning. Nil means every point is
+	// alive. This is how the kinetic maintainer's from-scratch comparator
+	// and the live-network scenarios express node deaths without renumbering
+	// the deployment. The base graph, when built, still spans all points.
+	Alive []bool
 }
 
 // MemberPoints returns the positions of the network members.

@@ -44,6 +44,9 @@ func BuildUDG(pts []geom.Point, box geom.Rect, spec tiling.UDGSpec, opt Options)
 	if n.Base != nil && n.Base.N != len(pts) {
 		return nil, fmt.Errorf("sens: base graph has %d vertices, deployment has %d", n.Base.N, len(pts))
 	}
+	if opt.Alive != nil && len(opt.Alive) != len(pts) {
+		return nil, fmt.Errorf("sens: alive mask has %d entries, deployment has %d", len(opt.Alive), len(pts))
+	}
 
 	// Steps 1–2 of Figure 7: tile identification and region classification.
 	gm := spec.Compile()
@@ -59,7 +62,12 @@ func BuildUDG(pts []geom.Point, box geom.Rect, spec tiling.UDGSpec, opt Options)
 		for r := range regionIDs {
 			regionIDs[r] = regionIDs[r][:0]
 		}
+		pop := 0
 		for k, p := range local {
+			if opt.Alive != nil && !opt.Alive[idx[k]] {
+				continue
+			}
+			pop++
 			switch r := gm.Classify(p); r {
 			case tiling.UC0:
 				regionIDs[0] = append(regionIDs[0], idx[k])
@@ -68,7 +76,7 @@ func BuildUDG(pts []geom.Point, box geom.Rect, spec tiling.UDGSpec, opt Options)
 				regionIDs[1+d] = append(regionIDs[1+d], idx[k])
 			}
 		}
-		tn := &TileNodes{Population: len(idx), Rep: -1}
+		tn := &TileNodes{Population: pop, Rep: -1}
 		for d := range tn.Disk {
 			tn.Disk[d] = -1
 		}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/geom"
 	"repro/internal/graph"
+	"repro/internal/spatial"
 	"repro/internal/stats"
 )
 
@@ -62,11 +63,13 @@ const (
 	RepairRebuild RepairPolicy = iota
 	// RepairLocal patches only the broken region — graceful degradation:
 	// nodes whose uplink chain still reaches an alive sink keep their
-	// routes untouched; orphaned nodes re-attach to their first intact
-	// neighbor (sorted adjacency, then BFS outward through the orphan
-	// region), and nodes with no intact neighbor stay routeless until the
-	// next repair. Routes may drift off hop-optimal, which is the price of
-	// locality the R02 scenario quantifies.
+	// routes untouched; each orphaned node re-attaches by a fresh radio
+	// link to the geometrically nearest intact node (found through the
+	// kinetic spatial index, distance ties broken by index), and orphans
+	// stay routeless only when no intact node is left at all. Routes may
+	// drift off hop-optimal and attachment links can exceed the original
+	// edge lengths, which is the price of locality the R02 scenario
+	// quantifies through the energy model's d^β tx pricing.
 	RepairLocal
 )
 
@@ -183,6 +186,47 @@ func SimulateLifetime(g *graph.CSR, pos []geom.Point, nodes, sinks []int32,
 	return s.report(), nil
 }
 
+// MobileNetwork is a live structure a lifetime simulation can drain over:
+// node positions move and edges are repaired while batteries deplete.
+// Implementations typically wrap an incremental maintainer (core.Kinetic or
+// hng.Kinetic) replaying a mobility trajectory. The vertex count must stay
+// constant across Steps; motion and repair only change positions and edges.
+type MobileNetwork interface {
+	// Step advances the structure to the given 1-based round and reports
+	// whether anything observable changed (positions or edges). It is
+	// called exactly once per round, in increasing round order.
+	Step(round int) bool
+	// Died informs the structure of a permanent node death — battery
+	// exhaustion or crash — so subsequent repairs route around the node.
+	Died(u int32)
+	// Graph returns the current topology. Only consulted after a Step that
+	// reported a change (and once at start).
+	Graph() *graph.CSR
+	// Positions returns the current node positions, valid until the next
+	// Step.
+	Positions() []geom.Point
+}
+
+// SimulateMobileLifetime runs the lifetime simulation over a live mobile
+// structure: entering every round the network steps its trajectory and
+// repairs itself, and whenever it reports a change the routing forest is
+// rebuilt over the fresh edges and positions before traffic flows. Deaths
+// discovered by the simulation are reported back through Died, closing the
+// motion → repair → drain → death loop the M03 scenario measures. As with
+// the static entry point, the run is serial and deterministic in the
+// generator.
+func SimulateMobileLifetime(net MobileNetwork, nodes, sinks []int32,
+	spec Spec, rng *rand.Rand) (*Report, error) {
+	s, err := newSim(net.Graph(), net.Positions(), nodes, sinks, spec)
+	if err != nil {
+		return nil, err
+	}
+	s.mobile = net
+	for s.step(rng) {
+	}
+	return s.report(), nil
+}
+
 // sim is the preallocated simulation state: after newSim, rounds in which
 // nothing dies allocate nothing (the allocation gate in lifetime_test.go
 // pins this), and rounds with deaths allocate only inside the
@@ -213,6 +257,18 @@ type sim struct {
 	routesBuilt  bool
 	repairStatus []int8 // 0 unknown, 1 chain intact, 2 chain broken
 	repairWalk   []int32
+
+	// Mobility state: the live structure (nil for static runs), the kinetic
+	// index local repair re-attaches through, and staleness flags. The grid
+	// is built on first local repair and kept in sync with deaths; motion
+	// invalidates it wholesale (motionDirty also forces the next route fix
+	// to be a full rebuild — every link length changed, so there is nothing
+	// local to preserve).
+	mobile      MobileNetwork
+	grid        *spatial.DynGrid
+	knn         spatial.KNNScratch
+	gridStale   bool
+	motionDirty bool
 
 	nPowered    int // battery-powered roles
 	nAlive      int // alive battery-powered roles
@@ -357,6 +413,7 @@ func (s *sim) applyCrashes() {
 			continue
 		}
 		s.alive[u] = false
+		s.noteDeath(u)
 		if s.powered[u] {
 			s.nAlive--
 		}
@@ -378,13 +435,19 @@ func (s *sim) applyCrashes() {
 // repairRoutes is the RepairLocal alternative to rebuildRoutes: it walks
 // each alive node's uplink chain once (memoized per invocation), keeps
 // every route that still reaches an alive sink, orphans the rest, and
-// re-attaches orphans to their first intact neighbor in sorted-adjacency
-// order, then BFS outward through the orphan region. Fully deterministic:
-// the seed scan follows participant order and expansion follows sorted
-// adjacency. Orphans with no path to an intact node stay routeless.
+// re-attaches each orphan to the geometrically nearest intact node through
+// the kinetic spatial index (distance ties broken by index — the index's
+// deterministic contract). Fully deterministic: the orphan scan follows
+// participant order and each attachment is a pure function of the
+// positions and the intact set. Orphans stay routeless only when nothing
+// intact is left. The attachment forest stays acyclic because orphans only
+// ever point at already-intact nodes.
 func (s *sim) repairRoutes() {
 	if s.repairStatus == nil {
 		s.repairStatus = make([]int8, s.g.N)
+	}
+	if s.grid == nil || s.gridStale {
+		s.buildGrid()
 	}
 	status := s.repairStatus
 	for _, v := range s.nodes {
@@ -405,38 +468,62 @@ func (s *sim) repairRoutes() {
 	}
 	m := s.spec.Model
 	bits := s.spec.PacketBits
-	attach := func(v, w int32) {
-		s.next[v] = w
-		s.nextCost[v] = m.TxCost(bits, s.pos[w].Dist(s.pos[v]))
-		status[v] = 1
+	// Phase 2: each orphan re-attaches to the nearest intact node. The
+	// expanding-ring search costs O(local density), not O(intact nodes) —
+	// the locality the repair policy promises.
+	intact := func(w int32) bool {
+		return s.alive[w] && (status[w] == 1 || s.isSink[w])
 	}
-	// Phase 2: seed — orphans adjacent to an intact node attach to the first
-	// such neighbor.
-	q := s.queue[:0]
 	for _, v := range s.nodes {
 		if !s.alive[v] || s.isSink[v] || s.next[v] >= 0 {
 			continue
 		}
-		for _, w := range s.g.Neighbors(v) {
-			if s.alive[w] && (status[w] == 1 || s.isSink[w]) {
-				attach(v, w)
-				q = append(q, v)
-				break
-			}
+		w := s.grid.NearestWhere(s.pos[v], &s.knn, intact)
+		if w < 0 {
+			continue
 		}
+		s.next[v] = w
+		s.nextCost[v] = m.TxCost(bits, s.pos[w].Dist(s.pos[v]))
 	}
-	// Phase 3: BFS outward — deeper orphans hang off freshly attached ones.
-	for head := 0; head < len(q); head++ {
-		u := q[head]
-		for _, w := range s.g.Neighbors(u) {
-			if s.alive[w] && !s.isSink[w] && s.next[w] < 0 {
-				attach(w, u)
-				q = append(q, w)
-			}
-		}
-	}
-	s.queue = q
 	s.dirty = false
+}
+
+// buildGrid (re)indexes the current participant positions for the local
+// repair's nearest-intact search. Dead and non-participant slots are
+// removed up front; later deaths are pruned incrementally by noteDeath.
+func (s *sim) buildGrid() {
+	lo := geom.Pt(math.Inf(1), math.Inf(1))
+	hi := geom.Pt(math.Inf(-1), math.Inf(-1))
+	for _, v := range s.nodes {
+		lo.X = math.Min(lo.X, s.pos[v].X)
+		lo.Y = math.Min(lo.Y, s.pos[v].Y)
+		hi.X = math.Max(hi.X, s.pos[v].X)
+		hi.Y = math.Max(hi.Y, s.pos[v].Y)
+	}
+	side := math.Max(hi.X-lo.X, hi.Y-lo.Y)
+	cell := side / math.Sqrt(float64(len(s.nodes)))
+	if cell <= 0 {
+		cell = 1
+	}
+	s.grid = spatial.NewDynGrid(s.pos, geom.Rect{Min: lo, Max: hi}, cell)
+	for i := 0; i < s.g.N; i++ {
+		if !s.alive[int32(i)] {
+			s.grid.Remove(int32(i))
+		}
+	}
+	s.gridStale = false
+}
+
+// noteDeath keeps the auxiliary structures in sync with a permanent death:
+// the repair index drops the slot and a live mobile structure is told to
+// route around it.
+func (s *sim) noteDeath(u int32) {
+	if s.grid != nil {
+		s.grid.Remove(u)
+	}
+	if s.mobile != nil {
+		s.mobile.Died(u)
+	}
 }
 
 // chainIntact reports whether v's uplink chain reaches an alive sink,
@@ -495,14 +582,22 @@ func (s *sim) step(rng *rand.Rand) bool {
 	if s.ended || s.round >= s.spec.MaxRounds {
 		return false
 	}
+	if s.mobile != nil && s.mobile.Step(s.round+1) {
+		s.g = s.mobile.Graph()
+		s.pos = s.mobile.Positions()
+		s.dirty = true
+		s.gridStale = true
+		s.motionDirty = true
+	}
 	if s.spec.Faults != nil {
 		s.applyCrashes()
 	}
 	if s.dirty {
-		if s.spec.Repair == RepairLocal && s.routesBuilt {
+		if s.spec.Repair == RepairLocal && s.routesBuilt && !s.motionDirty {
 			s.repairRoutes()
 		} else {
 			s.rebuildRoutes()
+			s.motionDirty = false
 		}
 	}
 	srv := s.served()
@@ -584,6 +679,7 @@ func (s *sim) step(rng *rand.Rand) bool {
 			continue
 		}
 		s.alive[u] = false
+		s.noteDeath(u)
 		s.nAlive--
 		deaths++
 	}

@@ -70,6 +70,7 @@ func init() {
 	registerHNG()
 	registerEnergy()
 	registerRobustness()
+	registerMobility()
 	for _, s := range scenario.All() {
 		run := s.Run
 		All = append(All, Runner{ID: s.ID, Title: s.Title, Run: func(cfg Config) *Table {

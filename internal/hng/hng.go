@@ -136,36 +136,68 @@ func Build(pts []geom.Point, spec Spec, g *rand.Rand) (*Graph, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	n := len(pts)
-	h := &Graph{Levels: make([]int32, n), Spec: spec}
-
 	// Level assignment: geometric promotion, capped at MaxLevels.
-	top := int32(1)
-	for i := range h.Levels {
+	levels := make([]int32, len(pts))
+	for i := range levels {
 		lvl := int32(1)
 		for lvl < MaxLevels && g.Float64() < spec.P {
 			lvl++
 		}
-		h.Levels[i] = lvl
-		if lvl > top {
-			top = lvl
+		levels[i] = lvl
+	}
+	return construct(pts, levels, nil, spec), nil
+}
+
+// Rebuild constructs the graph from-scratch at a fixed level assignment,
+// restricted to the alive nodes (nil alive means everyone). Dead vertices
+// stay in the index space but end up isolated. This is the reference the
+// incremental Kinetic maintainer is equivalence-gated against: Kinetic's
+// materialized graph must match Rebuild edge-for-edge at the same positions,
+// levels and alive set. Levels persist across motion — promotion draws
+// attach to nodes, not positions — so Rebuild never consumes randomness.
+func Rebuild(pts []geom.Point, levels []int32, alive []bool, spec Spec) (*Graph, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if len(levels) != len(pts) || (alive != nil && len(alive) != len(pts)) {
+		return nil, fmt.Errorf("hng: Rebuild slice lengths disagree (%d pts, %d levels, %d alive)",
+			len(pts), len(levels), len(alive))
+	}
+	return construct(pts, levels, alive, spec), nil
+}
+
+// construct is the deterministic post-draw construction shared by Build and
+// Rebuild: everything is a pure function of (pts, levels, alive, spec),
+// parallel-safe at any GOMAXPROCS.
+func construct(pts []geom.Point, levels []int32, alive []bool, spec Spec) *Graph {
+	n := len(pts)
+	h := &Graph{Levels: levels, Spec: spec}
+	isAlive := func(u int32) bool { return alive == nil || alive[u] }
+
+	top := int32(0)
+	for u, l := range levels {
+		if isAlive(int32(u)) && l > top {
+			top = l
 		}
 	}
-	if n == 0 {
-		h.Geometric = &rgg.Geometric{CSR: graph.NewBuilder(0).Build(), Pos: pts}
+	if top == 0 {
+		h.Geometric = &rgg.Geometric{CSR: graph.NewBuilder(n).Build(), Pos: pts}
 		h.Stats.Levels = 0
-		return h, nil
+		return h
 	}
 	h.Stats.Levels = int(top)
 
-	// byLevel[i] lists V_{i+1} = {u : ℓ(u) ≥ i+1} in ascending index order
-	// (0-based: byLevel[0] is everyone). atLevel[i] lists the nodes whose
-	// top level is exactly i+1 — the up-link sources of level i+1.
+	// byLevel[i] lists V_{i+1} = {u alive : ℓ(u) ≥ i+1} in ascending index
+	// order (0-based: byLevel[0] is every alive node). atLevel[i] lists the
+	// alive nodes whose top level is exactly i+1 — the up-link sources of
+	// level i+1.
 	byLevel := make([][]int32, top)
 	atLevel := make([][]int32, top)
 	counts := make([]int, top+1)
-	for _, l := range h.Levels {
-		counts[l]++
+	for u, l := range levels {
+		if isAlive(int32(u)) && l <= top {
+			counts[l]++
+		}
 	}
 	cum := 0
 	for i := top; i >= 1; i-- {
@@ -173,7 +205,10 @@ func Build(pts []geom.Point, spec Spec, g *rand.Rand) (*Graph, error) {
 		cum += counts[i]
 		byLevel[i-1] = make([]int32, 0, cum)
 	}
-	for u, l := range h.Levels {
+	for u, l := range levels {
+		if !isAlive(int32(u)) || l > top {
+			continue
+		}
 		atLevel[l-1] = append(atLevel[l-1], int32(u))
 		for i := int32(0); i < l; i++ {
 			byLevel[i] = append(byLevel[i], int32(u))
@@ -333,7 +368,7 @@ func Build(pts []geom.Point, spec Spec, g *rand.Rand) (*Graph, error) {
 	b := graph.NewBuilder(n)
 	b.AddPacked(edges, false)
 	h.Geometric = &rgg.Geometric{CSR: b.Build(), Pos: pts}
-	return h, nil
+	return h
 }
 
 // mstEdges returns the packed Euclidean MST edges of the node subset via

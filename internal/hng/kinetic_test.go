@@ -1,0 +1,169 @@
+package hng
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// checkEquivalence asserts the equivalence gate: the kinetic maintainer's
+// materialized graph equals a from-scratch Rebuild at the same positions,
+// levels and alive set, edge-for-edge.
+func checkEquivalence(t *testing.T, k *Kinetic, spec Spec, step int) {
+	t.Helper()
+	ref, err := Rebuild(k.Positions(), k.Levels(), k.AliveMask(), spec)
+	if err != nil {
+		t.Fatalf("step %d: Rebuild: %v", step, err)
+	}
+	got := k.Materialize()
+	if diff := graph.FirstDiff(got, ref.CSR); diff != "" {
+		t.Fatalf("step %d: incremental != rebuild: %s", step, diff)
+	}
+}
+
+// runKineticEquivalence drives random moves and deaths through a Kinetic
+// and checks the gate after every batch.
+func runKineticEquivalence(t *testing.T, spec Spec, seed rng.Seed) {
+	t.Helper()
+	box := geom.Box(20, 20)
+	pts := deployment(t, 20, 2, seed)
+	h, err := Build(pts, spec, rng.Sub(seed, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := NewKinetic(h, box)
+	checkEquivalence(t, k, spec, -1)
+
+	gen := rng.Sub(seed, 2)
+	n := len(pts)
+	for step := 0; step < 25; step++ {
+		for op := 0; op < 8; op++ {
+			u := int32(gen.IntN(n))
+			if !k.AliveMask()[u] {
+				continue
+			}
+			if gen.Float64() < 0.12 {
+				k.Remove(u)
+				continue
+			}
+			// Mostly small displacements, occasionally a long jump.
+			p := k.Positions()[u]
+			if gen.Float64() < 0.2 {
+				p = geom.Point{X: gen.Float64() * 20, Y: gen.Float64() * 20}
+			} else {
+				p.X += (gen.Float64() - 0.5) * 0.8
+				p.Y += (gen.Float64() - 0.5) * 0.8
+				p = box.Clamp(p)
+			}
+			k.Move(u, p)
+		}
+		checkEquivalence(t, k, spec, step)
+	}
+	if k.Stats().LinkRecomputes == 0 {
+		t.Fatal("no link recomputes recorded — repairs are not happening")
+	}
+}
+
+func TestKineticEquivalenceUnderMotion(t *testing.T) {
+	for _, gmp := range []int{1, 8} {
+		prev := runtime.GOMAXPROCS(gmp)
+		runKineticEquivalence(t, DefaultSpec(), 31)
+		runtime.GOMAXPROCS(prev)
+	}
+}
+
+func TestKineticEquivalenceUnprunedAndFlat(t *testing.T) {
+	// No pruning (unbounded groups) and a taller hierarchy both exercise
+	// different group/MST paths.
+	runKineticEquivalence(t, Spec{P: 0.3, MaxChildren: 0}, 7)
+	runKineticEquivalence(t, Spec{P: 0.45, MaxChildren: 2}, 13)
+}
+
+func TestKineticMassDeathReachesEmpty(t *testing.T) {
+	// Killing every node one by one must keep the gate at every prefix and
+	// end at the empty graph (top chases the survivors down).
+	box := geom.Box(12, 12)
+	pts := deployment(t, 12, 1.5, 3)
+	spec := DefaultSpec()
+	h, err := Build(pts, spec, rng.Sub(3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := NewKinetic(h, box)
+	order := rng.Sub(3, 2).Perm(len(pts))
+	for i, u := range order {
+		k.Remove(int32(u))
+		if i%7 == 0 || i == len(order)-1 {
+			checkEquivalence(t, k, spec, i)
+		}
+	}
+	if got := k.Materialize(); got.EdgeCount != 0 {
+		t.Fatalf("graph not empty after all deaths: %d edges", got.EdgeCount)
+	}
+}
+
+func TestKineticCoincidentPoints(t *testing.T) {
+	// Duplicate positions stress the (distance, index) tie-breaks: moves
+	// landing exactly on occupied coordinates must still match the rebuild.
+	box := geom.Box(4, 4)
+	pts := []geom.Point{
+		{X: 1, Y: 1}, {X: 1, Y: 1}, {X: 3, Y: 3}, {X: 3, Y: 3},
+		{X: 1, Y: 3}, {X: 3, Y: 1}, {X: 2, Y: 2}, {X: 2, Y: 2},
+		{X: 1, Y: 1}, {X: 3, Y: 3}, {X: 0.5, Y: 0.5}, {X: 3.5, Y: 0.5},
+	}
+	spec := Spec{P: 0.4, MaxChildren: 2}
+	h, err := Build(pts, spec, rng.New(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := NewKinetic(h, box)
+	checkEquivalence(t, k, spec, -1)
+	targets := []geom.Point{
+		{X: 1, Y: 1}, {X: 3, Y: 3}, {X: 2, Y: 2}, {X: 1, Y: 3},
+	}
+	gen := rng.Sub(17, 5)
+	for step := 0; step < 30; step++ {
+		u := int32(gen.IntN(len(pts)))
+		if !k.AliveMask()[u] {
+			continue
+		}
+		if step%9 == 8 {
+			k.Remove(u)
+		} else {
+			k.Move(u, targets[gen.IntN(len(targets))])
+		}
+		checkEquivalence(t, k, spec, step)
+	}
+}
+
+func TestKineticStatsScaleWithRegion(t *testing.T) {
+	// A small displacement must touch far fewer links than the node count —
+	// the "repair cost ~ O(affected region), not O(n)" claim in its
+	// cheapest testable form.
+	box := geom.Box(30, 30)
+	pts := deployment(t, 30, 4, 23)
+	h, err := Build(pts, DefaultSpec(), rng.Sub(23, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := NewKinetic(h, box)
+	n := len(pts)
+	gen := rng.Sub(23, 2)
+	const trials = 50
+	k.ResetStats()
+	for i := 0; i < trials; i++ {
+		u := int32(gen.IntN(n))
+		p := k.Positions()[u]
+		p.X += (gen.Float64() - 0.5) * 0.2
+		p.Y += (gen.Float64() - 0.5) * 0.2
+		k.Move(u, box.Clamp(p))
+	}
+	s := k.ResetStats()
+	perMove := float64(s.LinkRecomputes) / trials
+	if perMove > float64(n)/10 {
+		t.Fatalf("small moves relink %.1f nodes on average (n=%d) — repair is not localized", perMove, n)
+	}
+}

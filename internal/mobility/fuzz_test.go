@@ -1,0 +1,75 @@
+package mobility
+
+import (
+	"slices"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/rng"
+	"repro/internal/spatial"
+)
+
+// FuzzTrajectory checks two invariants for arbitrary motion parameters:
+// every sampled position stays inside the unit square, and a kinetic spatial
+// index replaying the move sequence stays consistent with brute force over
+// the current positions after every step.
+func FuzzTrajectory(f *testing.F) {
+	f.Add(uint64(1), uint8(0), 0.05, 2, 12, 40)
+	f.Add(uint64(2), uint8(1), 0.4, 0, 25, 15)
+	f.Add(uint64(3), uint8(0), 1e-6, 7, 3, 5)
+	f.Add(uint64(4), uint8(1), 3.5, 1, 60, 30)
+	f.Fuzz(func(t *testing.T, seed uint64, model uint8, speed float64, pause, n, steps int) {
+		spec := Spec{
+			Model: Model(model % 2),
+			Speed: speed,
+			Pause: pause,
+			Steps: steps,
+		}
+		// Fold out-of-range fuzz inputs into the valid domain instead of
+		// rejecting: Sample must behave for every spec Validate accepts.
+		if !(spec.Speed > 0) || spec.Speed > 10 {
+			spec.Speed = 0.05
+		}
+		if spec.Pause < 0 {
+			spec.Pause = -spec.Pause % 8
+		}
+		if spec.Steps < 0 || spec.Steps > 64 {
+			spec.Steps = (spec.Steps%64 + 64) % 64
+		}
+		if n < 1 || n > 128 {
+			n = (n%128+128)%128 + 1
+		}
+		box := geom.Box(1, 1)
+		init := deployment(n, box, rng.Seed(seed))
+		traj := Sample(init, box, spec, rng.Seed(seed), 4400)
+
+		pos := append([]geom.Point(nil), init...)
+		idx := spatial.NewDynGrid(init, box, 0.125)
+		gen := rng.Sub(rng.Seed(seed), 1)
+		for step, moves := range traj.Steps {
+			for _, m := range moves {
+				if !box.Contains(m.To) {
+					t.Fatalf("step %d: node %d left the unit square: %v", step, m.Node, m.To)
+				}
+				idx.Move(m.Node, m.To)
+			}
+			Apply(pos, moves)
+			// One radius query and one kNN query per step against brute force.
+			q := geom.Point{X: gen.Float64(), Y: gen.Float64()}
+			r := 0.05 + 0.3*gen.Float64()
+			got := idx.Within(q, r, nil)
+			slices.Sort(got)
+			want := spatial.BruteWithin(pos, q, r)
+			slices.Sort(want)
+			if !slices.Equal(got, want) {
+				t.Fatalf("step %d: Within(%v, %v) = %v, brute = %v", step, q, r, got, want)
+			}
+			k := 1 + gen.IntN(5)
+			gotK := idx.KNearestInto(q, k, -1, nil, nil)
+			wantK := spatial.BruteKNearest(pos, q, k, -1)
+			if !slices.Equal(gotK, wantK) {
+				t.Fatalf("step %d: KNearest(%v, %d) = %v, brute = %v", step, q, k, gotK, wantK)
+			}
+		}
+	})
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/graph"
 	"repro/internal/hng"
+	"repro/internal/mobility"
 	"repro/internal/pointprocess"
 	"repro/internal/rgg"
 	"repro/internal/rng"
@@ -230,6 +231,19 @@ func (c *Ctx) Lifetime(key string, build func() *EnergyInstance) *EnergyInstance
 // applying them never are.
 func (c *Ctx) Faults(key string, build func() *fault.Schedule) *fault.Schedule {
 	return Get(c.Cache, "fault|"+key, build)
+}
+
+// Trajectory returns the cached mobility trajectory for the deployment
+// under spec, sampled from substream stream of the seed. mobility.Sample
+// draws each node's motion from a derived per-node substream and consumes
+// all of them entirely, and a Trajectory is immutable pure data — so
+// trajectories are cache-eligible under the Cache correctness rule exactly
+// like fault schedules, while the simulations replaying them never are.
+func (c *Ctx) Trajectory(dep Deployment, spec mobility.Spec, stream uint64) *mobility.Trajectory {
+	key := fmt.Sprintf("traj|%s|spec=%+v|st=%d", dep.Key, spec, stream)
+	return Get(c.Cache, key, func() *mobility.Trajectory {
+		return mobility.Sample(dep.Pts, dep.Box, spec, c.Cfg.Seed, stream)
+	})
 }
 
 // NNNet returns the cached NN-SENS network over the deployment. Unless

@@ -180,7 +180,7 @@ func (g *Grid) KNearestInto(q geom.Point, k int, exclude int, scratch *KNNScratc
 				break
 			}
 		}
-		cells := g.appendRing(scratch.cells[:0], cx, cy, ring)
+		cells := appendRingCells(scratch.cells[:0], cx, cy, ring, g.nx, g.ny)
 		scratch.cells = cells
 		for _, c := range cells {
 			for _, i := range g.order[g.start[c]:g.start[c+1]] {
@@ -192,42 +192,6 @@ func (g *Grid) KNearestInto(q geom.Point, k int, exclude int, scratch *KNNScratc
 		}
 	}
 	return h.appendSorted(dst)
-}
-
-// appendRing appends each valid cell index at L∞ ring distance `ring` from
-// (cx, cy) to dst and returns the extended slice.
-func (g *Grid) appendRing(dst []int32, cx, cy, ring int) []int32 {
-	if ring == 0 {
-		if cx >= 0 && cx < g.nx && cy >= 0 && cy < g.ny {
-			dst = append(dst, int32(cy*g.nx+cx))
-		}
-		return dst
-	}
-	x0, x1 := cx-ring, cx+ring
-	y0, y1 := cy-ring, cy+ring
-	for x := x0; x <= x1; x++ {
-		if x < 0 || x >= g.nx {
-			continue
-		}
-		if y0 >= 0 && y0 < g.ny {
-			dst = append(dst, int32(y0*g.nx+x))
-		}
-		if y1 >= 0 && y1 < g.ny {
-			dst = append(dst, int32(y1*g.nx+x))
-		}
-	}
-	for y := y0 + 1; y <= y1-1; y++ {
-		if y < 0 || y >= g.ny {
-			continue
-		}
-		if x0 >= 0 && x0 < g.nx {
-			dst = append(dst, int32(y*g.nx+x0))
-		}
-		if x1 >= 0 && x1 < g.nx {
-			dst = append(dst, int32(y*g.nx+x1))
-		}
-	}
-	return dst
 }
 
 func clampInt(v, lo, hi int) int {
