@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify test test-race bench baseline bench-compare ci doclint scenarios fuzz-smoke
+.PHONY: verify test test-race bench bench-1m baseline bench-compare ci doclint scenarios fuzz-smoke
 
 # verify is the tier-1 gate: build (including every example), vet, full
 # test suite.
@@ -60,8 +60,18 @@ fuzz-smoke:
 bench:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run='^$$' ./...
 
+# bench-1m runs the million-node scale tier (streaming deployment,
+# pair-free grid UDG, tile-sharded SENS build, short lifetime run) with the
+# memory-budget metrics. Minutes of wall time on the 1-CPU box, so it is NOT
+# part of the default ci target — run it when touching the scale tier, and
+# regenerate the baseline with `BENCH_1M=1 scripts/bench.sh` so the 1M rows
+# stay pinned.
+bench-1m:
+	BENCH_1M=1 $(GO) test -bench='1M$$' -benchtime=1x -benchmem -timeout 30m -run='^$$' .
+
 # baseline regenerates BENCH_baseline.json, the checked-in perf trajectory
-# that future PRs diff against.
+# that future PRs diff against. BENCH_1M=1 includes the million-node tier
+# (required when the baseline should pin the 1M rows).
 baseline:
 	scripts/bench.sh BENCH_baseline.json
 

@@ -52,6 +52,31 @@ func DeployN(box Rect, n int, seed Seed) []Point {
 	return pointprocess.Binomial(box, n, rng.New(seed))
 }
 
+// SoA is a struct-of-arrays point set (separate X/Y coordinate slabs) — the
+// compact deployment representation of the million-node scale tier. Convert
+// to the interleaved form once with SoA.Points when a builder needs []Point.
+type SoA = geom.SoA
+
+// DeploySoA samples a Poisson(λ) deployment on box straight into
+// struct-of-arrays slabs, generated tile by tile (square generation tiles of
+// side genSide; ≤ 0 means one tile) from per-tile RNG substreams: exact-size
+// allocation, parallel fill, identical output at any GOMAXPROCS. This is
+// the scale-tier form of Deploy — at 10⁶ points it avoids the append-growth
+// copies and serial RNG stream of the slice path.
+func DeploySoA(box Rect, lambda float64, seed Seed, genSide float64) SoA {
+	return pointprocess.PoissonSoA(box, lambda, seed, genSide)
+}
+
+// DeployStream samples the same deployment as DeploySoA but hands each
+// generation tile's points to emit instead of retaining them — constant
+// memory for consumers that reduce tiles on the fly. The emitted coordinate
+// slices are reused between calls; copy what you keep. Concatenating the
+// emissions in call order reproduces DeploySoA exactly. Returns the total
+// point count.
+func DeployStream(box Rect, lambda float64, seed Seed, genSide float64, emit func(tile Rect, xs, ys []float64)) int {
+	return pointprocess.StreamPoisson(box, lambda, seed, genSide, emit)
+}
+
 // Tile geometry specifications.
 type (
 	// UDGSpec parameterizes the UDG-SENS tile geometry.
@@ -101,6 +126,16 @@ type (
 // BuildUDGSens constructs UDG-SENS(2, λ) over pts.
 func BuildUDGSens(pts []Point, box Rect, spec UDGSpec, opt Options) (*Network, error) {
 	return core.BuildUDG(pts, box, spec, opt)
+}
+
+// BuildUDGSensSharded constructs the same network as BuildUDGSens by
+// tile-sharded parallel execution: per-tile elections and border-stitched
+// relay wiring run across all cores and the result is byte-identical to the
+// serial build at any GOMAXPROCS (equivalence-tested). This is the
+// scale-tier path for 10⁶-node deployments; when it builds the base graph
+// itself it uses the pair-free UDGGrid enumeration.
+func BuildUDGSensSharded(pts []Point, box Rect, spec UDGSpec, opt Options) (*Network, error) {
+	return core.BuildUDGSharded(pts, box, spec, opt)
 }
 
 // BuildNNSens constructs NN-SENS(2, k) over pts.
@@ -157,6 +192,17 @@ func UDG(pts []Point, r float64) *Geometric { return rgg.UDG(pts, r) }
 
 // NN builds the undirected k-nearest-neighbor graph.
 func NN(pts []Point, k int) *Geometric { return rgg.NN(pts, k) }
+
+// UDGGrid builds the identical unit disk graph as UDG by pair-free bucket
+// grid enumeration — the scale-tier builder: each unordered point pair is
+// examined at most once, edges stream into pre-sized per-shard buffers, and
+// memory stays O(n + m). Prefer it from ~10⁵ points up; the two builders
+// are equivalence-tested edge for edge.
+func UDGGrid(pts []Point, r float64) *Geometric { return rgg.UDGGrid(pts, r) }
+
+// UDGGridSoA is UDGGrid over a struct-of-arrays deployment (DeploySoA); the
+// slabs are interleaved once and the graph is built over the result.
+func UDGGridSoA(s SoA, r float64) *Geometric { return rgg.UDGGridSoA(s, r) }
 
 // Baseline topology-control structures (§1.2 related work).
 var (

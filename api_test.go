@@ -322,3 +322,39 @@ func TestPublicFaultSurface(t *testing.T) {
 		t.Errorf("ResidualJain = %v", rep.ResidualJain)
 	}
 }
+
+func TestPublicScaleTierFlow(t *testing.T) {
+	box := sensnet.Box(24, 24)
+	// SoA deployment, streamed tile by tile, equals the slab form.
+	s := sensnet.DeploySoA(box, 16, 21, 3)
+	streamed := 0
+	sensnet.DeployStream(box, 16, 21, 3, func(tile sensnet.Rect, xs, ys []float64) {
+		streamed += len(xs)
+	})
+	if streamed != s.Len() {
+		t.Fatalf("DeployStream emitted %d points, DeploySoA holds %d", streamed, s.Len())
+	}
+	pts := s.Points(nil)
+
+	// Pair-free grid builder agrees with the query builder.
+	a, b := sensnet.UDGGrid(pts, 1), sensnet.UDG(pts, 1)
+	if a.EdgeCount != b.EdgeCount {
+		t.Fatalf("UDGGrid %d edges, UDG %d", a.EdgeCount, b.EdgeCount)
+	}
+	if c := sensnet.UDGGridSoA(s, 1); c.EdgeCount != a.EdgeCount {
+		t.Fatalf("UDGGridSoA %d edges, UDGGrid %d", c.EdgeCount, a.EdgeCount)
+	}
+
+	// Sharded SENS build equals the serial build.
+	serial, err := sensnet.BuildUDGSens(pts, box, sensnet.DefaultUDGSpec(), sensnet.Options{Base: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := sensnet.BuildUDGSensSharded(pts, box, sensnet.DefaultUDGSpec(), sensnet.Options{Base: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Stats != sharded.Stats || len(serial.Members) != len(sharded.Members) {
+		t.Fatalf("sharded build diverged: %+v vs %+v", serial.Stats, sharded.Stats)
+	}
+}

@@ -9,6 +9,7 @@
 //	sensnet -kind nn -k 188 -a 0.893 -tiles 5 -json
 //	sensnet -kind udg -side 14 -faults crash:0.1,loss:0.05,attack:degree
 //	sensnet -kind udg -side 14 -mobility model:waypoint,speed:0.05,pause:2,steps:40
+//	sensnet -kind udg -scale -side 250 -lambda 16
 package main
 
 import (
@@ -62,6 +63,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		tilefig = fs.Bool("tilefig", false, "render the tile region layout (paper Fig. 3 / Fig. 5) and exit")
 		faults  = fs.String("faults", "", "fault spec, e.g. crash:0.1,loss:0.05,attack:degree (attack: random | degree | betweenness)")
 		mob     = fs.String("mobility", "", "mobility spec, e.g. model:waypoint,speed:0.05,pause:2,steps:40 (model: waypoint | direction)")
+		scale   = fs.Bool("scale", false, "use the scale-tier pipeline: streaming SoA deployment, pair-free grid UDG, tile-sharded SENS build (udg only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -101,9 +103,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return fail("%v", serr)
 		}
 		box := sensnet.Box(*side, *side)
-		pts := sensnet.Deploy(box, *lambda, sensnet.Seed(*seed))
-		net, err = sensnet.BuildUDGSens(pts, box, spec, sensnet.Options{})
+		if *scale {
+			// Scale tier: tile-streamed SoA deployment (its per-tile
+			// substreams draw differently from Deploy, so the realization
+			// differs from the default pipeline at the same seed), pair-free
+			// grid UDG and the tile-sharded SENS build.
+			pts := sensnet.DeploySoA(box, *lambda, sensnet.Seed(*seed), scaleGenSide).Points(nil)
+			net, err = sensnet.BuildUDGSensSharded(pts, box, spec, sensnet.Options{})
+		} else {
+			pts := sensnet.Deploy(box, *lambda, sensnet.Seed(*seed))
+			net, err = sensnet.BuildUDGSens(pts, box, spec, sensnet.Options{})
+		}
 	case "nn":
+		if *scale {
+			return fail("-scale supports -kind udg only")
+		}
 		spec := sensnet.NNSpec{A: *a, K: *k}
 		boxSide := float64(*tiles) * spec.TileSide()
 		box := sensnet.Box(boxSide, boxSide)
@@ -274,6 +288,11 @@ func parseMobility(spec string) (mobility.Spec, error) {
 // mobilityStream is the substream the CLI's trajectory is sampled from —
 // disjoint from the deployment draw on the same seed.
 const mobilityStream = 9
+
+// scaleGenSide is the generation-tile side the -scale deployment uses: a
+// few hundred points per tile at the default λ=16 — fine enough to spread
+// across cores, coarse enough that the per-tile substream setup is noise.
+const scaleGenSide = 4.0
 
 // applyMobility samples a trajectory for the deployment and replays it
 // through the kinetic maintainer, then cross-checks the maintained

@@ -246,3 +246,36 @@ func TestErrorPaths(t *testing.T) {
 		t.Errorf("bad flag should exit 2")
 	}
 }
+
+// TestScaleFlag50k smokes the scale-tier pipeline end to end: a ~50k-point
+// streamed deployment, the pair-free grid UDG base and the tile-sharded
+// build, through the ordinary summary path.
+func TestScaleFlag50k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("50k-point scale smoke skipped in -short")
+	}
+	out, _, code := runCLI(t, "-kind", "udg", "-scale", "-side", "56", "-lambda", "16", "-seed", "5", "-json")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	var s summary
+	if err := json.Unmarshal([]byte(out), &s); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	if s.Points < 45000 {
+		t.Errorf("points = %d, want ~50k", s.Points)
+	}
+	if s.Members == 0 || s.GoodTiles == 0 {
+		t.Errorf("scale build produced empty network: %+v", s)
+	}
+	if s.MaxDegree > 4 {
+		t.Errorf("max degree %d violates P1", s.MaxDegree)
+	}
+}
+
+func TestScaleFlagRejectsNN(t *testing.T) {
+	_, errOut, code := runCLI(t, "-kind", "nn", "-scale")
+	if code == 0 || !strings.Contains(errOut, "-scale") {
+		t.Fatalf("expected -scale/nn rejection, got exit %d, stderr %q", code, errOut)
+	}
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/election"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/parallel"
+	"repro/internal/rgg"
+	"repro/internal/tiling"
+)
+
+// BuildUDGSharded constructs the identical UDG-SENS(2, λ) network as
+// BuildUDG by tile-sharded parallel execution — the scale-tier path for
+// 10⁶-node deployments, where the serial per-tile loop and the map-ordered
+// wiring pass become the bottleneck.
+//
+// The construction is the same Figure 7 pipeline, re-cut along tile
+// boundaries into two data-parallel phases over a dense tile slab
+// (tiling.AssignTilesCSR; no per-tile map allocation, no map iteration
+// order anywhere):
+//
+//  1. Elections: every occupied tile classifies its points and elects its
+//     five region leaders independently — tiles share nothing, so the phase
+//     shards freely with per-shard election scratch. Election message/round
+//     accounting accumulates into order-independent sums and maxes.
+//  2. Wiring with border stitching: every good tile emits its rep↔relay
+//     edges and — for the Right and Top borders only, so each boundary is
+//     stitched by exactly one of its two tiles — the relay↔relay edge to
+//     the facing neighbor, reading the neighbor's phase-1 leaders. Edges
+//     land in per-shard packed buffers whose deterministic concatenation
+//     feeds the counting-sort CSR build, which is insertion-order
+//     independent.
+//
+// The result is byte-identical to BuildUDG at any GOMAXPROCS — graph,
+// members, per-tile elections, lattice coupling and stats (equivalence
+// suite in scale_test.go). When the base graph is not supplied or skipped
+// it is built with the pair-free rgg.UDGGrid enumeration rather than the
+// per-point query path.
+func BuildUDGSharded(pts []geom.Point, box geom.Rect, spec tiling.UDGSpec, opt Options) (*Network, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{
+		Kind:    KindUDG,
+		Pts:     pts,
+		Box:     box,
+		Map:     tiling.NewMap(box, spec.Side),
+		Tiles:   make(map[tiling.Coord]*TileNodes),
+		UDGSpec: &spec,
+	}
+	n.Base = opt.Base
+	if n.Base == nil && !opt.SkipBase {
+		n.Base = rgg.UDGGrid(pts, spec.Radius)
+	}
+	if n.Base != nil && n.Base.N != len(pts) {
+		return nil, fmt.Errorf("sens: base graph has %d vertices, deployment has %d", n.Base.N, len(pts))
+	}
+	if opt.Alive != nil && len(opt.Alive) != len(pts) {
+		return nil, fmt.Errorf("sens: alive mask has %d entries, deployment has %d", len(opt.Alive), len(pts))
+	}
+
+	gm := spec.Compile()
+	start, order := tiling.AssignTilesCSR(n.Map, pts)
+	nt := n.Map.Tiles()
+	n.Stats.Tiles = nt
+	tiles := make([]TileNodes, nt)
+
+	// Phase 1: per-tile elections. Tiles write only their own slab entry;
+	// stats reduce through order-independent atomics.
+	var messages, goodTiles atomic.Int64
+	var maxRounds atomic.Int64
+	parallel.ForShard(nt, func(lo, hi int) {
+		var esc election.Scratch
+		var regionIDs [5][]int32
+		var local []geom.Point
+		shardMsgs, shardRounds := 0, 0
+		for t := lo; t < hi; t++ {
+			idx := order[start[t]:start[t+1]]
+			if len(idx) == 0 {
+				continue
+			}
+			c := n.Map.PhiInv(t%n.Map.W, t/n.Map.W)
+			local = tiling.LocalPoints(n.Map, c, pts, idx, local)
+			for r := range regionIDs {
+				regionIDs[r] = regionIDs[r][:0]
+			}
+			pop := 0
+			for k, p := range local {
+				if opt.Alive != nil && !opt.Alive[idx[k]] {
+					continue
+				}
+				pop++
+				switch r := gm.Classify(p); r {
+				case tiling.UC0:
+					regionIDs[0] = append(regionIDs[0], idx[k])
+				case tiling.URelayRight, tiling.URelayLeft, tiling.URelayTop, tiling.URelayBottom:
+					d := int(r - tiling.URelayRight)
+					regionIDs[1+d] = append(regionIDs[1+d], idx[k])
+				}
+			}
+			tn := &tiles[t]
+			tn.Population = pop
+			tn.Rep = -1
+			for d := range tn.Disk {
+				tn.Disk[d] = -1
+			}
+			elect := func(ids []int32) int32 {
+				res := esc.Elect(opt.Election, ids)
+				shardMsgs += res.Messages
+				if res.Rounds > shardRounds {
+					shardRounds = res.Rounds
+				}
+				return res.Leader
+			}
+			tn.Rep = elect(regionIDs[0])
+			good := tn.Rep >= 0
+			for d := 0; d < 4; d++ {
+				tn.Bridge[d] = elect(regionIDs[1+d])
+				good = good && tn.Bridge[d] >= 0
+			}
+			tn.Good = good
+			if good {
+				goodTiles.Add(1)
+			}
+		}
+		messages.Add(int64(shardMsgs))
+		for {
+			cur := maxRounds.Load()
+			if int64(shardRounds) <= cur || maxRounds.CompareAndSwap(cur, int64(shardRounds)) {
+				break
+			}
+		}
+	})
+	n.Stats.ElectionMessages = int(messages.Load())
+	n.Stats.ElectionRounds = int(maxRounds.Load())
+	n.Stats.GoodTiles = int(goodTiles.Load())
+
+	// Phase 2: wiring with border stitching. Each good tile emits its own
+	// rep↔relay edges plus the Right/Top cross-boundary relay edges, so
+	// every edge is produced by exactly one tile; handshake accounting is a
+	// set of order-independent sums.
+	requireBase := spec.Mode == tiling.GeometryRelaxed
+	var attempts, missing, failures atomic.Int64
+	validate := func(u, v int32) bool {
+		attempts.Add(1)
+		if n.Base == nil || n.Base.HasEdge(u, v) {
+			return true
+		}
+		missing.Add(1)
+		if requireBase {
+			failures.Add(1)
+			return false
+		}
+		return true
+	}
+	W, H := n.Map.W, n.Map.H
+	edges := parallel.CollectCap(nt, parallel.DefaultGrain, 6*parallel.DefaultGrain,
+		func(lo, hi int, out []uint64) []uint64 {
+			for t := lo; t < hi; t++ {
+				tn := &tiles[t]
+				if !tn.Good {
+					continue
+				}
+				for d := 0; d < 4; d++ {
+					if validate(tn.Rep, tn.Bridge[d]) {
+						out = append(out, graph.Pack(tn.Rep, tn.Bridge[d]))
+					}
+				}
+				x, y := t%W, t/W
+				if x+1 < W && tiles[t+1].Good { // Right border
+					u, v := tn.Bridge[tiling.Right], tiles[t+1].Bridge[tiling.Left]
+					if validate(u, v) {
+						out = append(out, graph.Pack(u, v))
+					}
+				}
+				if y+1 < H && tiles[t+W].Good { // Top border
+					u, v := tn.Bridge[tiling.Top], tiles[t+W].Bridge[tiling.Bottom]
+					if validate(u, v) {
+						out = append(out, graph.Pack(u, v))
+					}
+				}
+			}
+			return out
+		})
+	n.Stats.HandshakeAttempts = int(attempts.Load())
+	n.Stats.MissingBaseEdges = int(missing.Load())
+	n.Stats.HandshakeFailures = int(failures.Load())
+
+	// Occupied tiles enter the map exactly as in the serial build; entries
+	// point into the dense slab.
+	for t := 0; t < nt; t++ {
+		if start[t+1] > start[t] {
+			n.Tiles[n.Map.PhiInv(t%W, t/W)] = &tiles[t]
+		}
+	}
+
+	b := graph.NewBuilder(len(pts))
+	b.Grow(len(edges))
+	b.AddPacked(edges, true)
+	n.finalize(b)
+
+	if spec.Mode == tiling.GeometryRepaired && n.Stats.MissingBaseEdges > 0 {
+		return nil, fmt.Errorf("sens: repaired-geometry invariant violated: %d SENS edges absent from UDG base",
+			n.Stats.MissingBaseEdges)
+	}
+	return n, nil
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/pointprocess"
+	"repro/internal/rgg"
+	"repro/internal/rng"
+	"repro/internal/tiling"
+)
+
+// sameNetwork asserts the two networks are byte-identical in everything the
+// construction determines: graph, membership, per-tile elections, coupled
+// lattice and accounting.
+func sameNetwork(t *testing.T, label string, a, b *Network) {
+	t.Helper()
+	sameGraph := func(what string, x, y *graph.CSR) {
+		if x.N != y.N || x.EdgeCount != y.EdgeCount {
+			t.Fatalf("%s: %s N/EdgeCount differ: (%d, %d) vs (%d, %d)",
+				label, what, x.N, x.EdgeCount, y.N, y.EdgeCount)
+		}
+		for i := range x.Start {
+			if x.Start[i] != y.Start[i] {
+				t.Fatalf("%s: %s Start[%d] = %d vs %d", label, what, i, x.Start[i], y.Start[i])
+			}
+		}
+		for i := range x.Adj {
+			if x.Adj[i] != y.Adj[i] {
+				t.Fatalf("%s: %s Adj[%d] = %d vs %d", label, what, i, x.Adj[i], y.Adj[i])
+			}
+		}
+	}
+	sameGraph("subgraph", a.Graph, b.Graph)
+	if (a.Base == nil) != (b.Base == nil) {
+		t.Fatalf("%s: base presence differs", label)
+	}
+	if a.Base != nil {
+		sameGraph("base", a.Base.CSR, b.Base.CSR)
+	}
+	if a.Stats != b.Stats {
+		t.Fatalf("%s: stats differ:\n%+v\n%+v", label, a.Stats, b.Stats)
+	}
+	if len(a.Members) != len(b.Members) {
+		t.Fatalf("%s: member counts %d vs %d", label, len(a.Members), len(b.Members))
+	}
+	for i := range a.Members {
+		if a.Members[i] != b.Members[i] {
+			t.Fatalf("%s: Members[%d] = %d vs %d", label, i, a.Members[i], b.Members[i])
+		}
+	}
+	for i := range a.InNet {
+		if a.InNet[i] != b.InNet[i] {
+			t.Fatalf("%s: InNet[%d] differs", label, i)
+		}
+	}
+	if len(a.Tiles) != len(b.Tiles) {
+		t.Fatalf("%s: tile counts %d vs %d", label, len(a.Tiles), len(b.Tiles))
+	}
+	for c, ta := range a.Tiles {
+		tb, ok := b.Tiles[c]
+		if !ok {
+			t.Fatalf("%s: tile %v missing from second network", label, c)
+		}
+		if *ta != *tb {
+			t.Fatalf("%s: tile %v differs: %+v vs %+v", label, c, *ta, *tb)
+		}
+	}
+	if (a.Lat == nil) != (b.Lat == nil) {
+		t.Fatalf("%s: lattice presence differs", label)
+	}
+	if a.Lat != nil {
+		if a.Lat.W != b.Lat.W || a.Lat.H != b.Lat.H {
+			t.Fatalf("%s: lattice dims differ", label)
+		}
+		for i := range a.Lat.Open {
+			if a.Lat.Open[i] != b.Lat.Open[i] {
+				t.Fatalf("%s: lattice site %d differs", label, i)
+			}
+		}
+	}
+}
+
+// TestShardedMatchesSerialAt10k is the acceptance-criterion gate: the
+// tile-sharded build must reproduce BuildUDG exactly on a 10⁴-point
+// deployment, across geometry modes and with/without the base graph.
+func TestShardedMatchesSerialAt10k(t *testing.T) {
+	pts := pointprocess.Poisson(geom.Box(25, 25), 16, rng.New(81))
+	if len(pts) < 9000 {
+		t.Fatalf("deployment too small (%d) for the 10k gate", len(pts))
+	}
+	box := geom.Box(25, 25)
+	cases := []struct {
+		name string
+		spec tiling.UDGSpec
+		opt  Options
+	}{
+		{"repaired-skipbase", tiling.DefaultUDGSpec(), Options{SkipBase: true}},
+		{"repaired-base", tiling.DefaultUDGSpec(), Options{}},
+		{"relaxed-base", tiling.RelaxedUDGSpec(), Options{}},
+		{"literal", tiling.PaperUDGSpec(), Options{SkipBase: true}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			serial, err := BuildUDG(pts, box, c.spec, c.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sharded, err := BuildUDGSharded(pts, box, c.spec, c.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameNetwork(t, c.name, serial, sharded)
+		})
+	}
+}
+
+// TestShardedMatchesSerialWithAliveMask covers the masked-deployment path
+// (dead points take no part in elections but keep their indices).
+func TestShardedMatchesSerialWithAliveMask(t *testing.T) {
+	pts := pointprocess.Poisson(geom.Box(12, 12), 16, rng.New(82))
+	box := geom.Box(12, 12)
+	alive := make([]bool, len(pts))
+	g := rng.New(83)
+	for i := range alive {
+		alive[i] = g.Float64() > 0.3
+	}
+	opt := Options{SkipBase: true, Alive: alive}
+	serial, err := BuildUDG(pts, box, tiling.DefaultUDGSpec(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := BuildUDGSharded(pts, box, tiling.DefaultUDGSpec(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameNetwork(t, "alive-mask", serial, sharded)
+}
+
+// TestShardedDeterministicAcrossGOMAXPROCS pins the sharded builder to the
+// determinism contract at worker counts 1 and 8 — the second acceptance
+// criterion.
+func TestShardedDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	pts := pointprocess.Poisson(geom.Box(25, 25), 16, rng.New(84))
+	box := geom.Box(25, 25)
+	spec := tiling.DefaultUDGSpec()
+
+	prev := runtime.GOMAXPROCS(8)
+	wide, errW := BuildUDGSharded(pts, box, spec, Options{})
+	runtime.GOMAXPROCS(1)
+	narrow, errN := BuildUDGSharded(pts, box, spec, Options{})
+	runtime.GOMAXPROCS(prev)
+	if errW != nil || errN != nil {
+		t.Fatal(errW, errN)
+	}
+	sameNetwork(t, "GOMAXPROCS 1 vs 8", narrow, wide)
+}
+
+// TestShardedErrorPaths mirrors BuildUDG's argument validation.
+func TestShardedErrorPaths(t *testing.T) {
+	pts := pointprocess.Poisson(geom.Box(6, 6), 8, rng.New(85))
+	box := geom.Box(6, 6)
+	bad := tiling.DefaultUDGSpec()
+	bad.Side = -1
+	if _, err := BuildUDGSharded(pts, box, bad, Options{}); err == nil {
+		t.Error("invalid spec accepted")
+	}
+	if _, err := BuildUDGSharded(pts, box, tiling.DefaultUDGSpec(), Options{Alive: []bool{true}}); err == nil {
+		t.Error("mis-sized alive mask accepted")
+	}
+	wrongBase := rgg.UDG(pts[:4], 1)
+	if _, err := BuildUDGSharded(pts, box, tiling.DefaultUDGSpec(), Options{Base: wrongBase}); err == nil {
+		t.Error("mis-sized base graph accepted")
+	}
+	small, err := BuildUDGSharded(nil, box, tiling.DefaultUDGSpec(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(small.Members) != 0 || small.Stats.GoodTiles != 0 {
+		t.Error("empty deployment should yield empty network")
+	}
+}

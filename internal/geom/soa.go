@@ -1,0 +1,61 @@
+package geom
+
+// SoA is a struct-of-arrays point set: the X and Y coordinates live in two
+// parallel slabs instead of one []Point. This is the compact deployment
+// representation of the million-node scale tier — the streaming generators
+// in pointprocess fill the slabs tile by tile, so a 10⁶-point deployment is
+// produced without any intermediate per-tile slices or append-growth
+// copies, and columnar consumers (coordinate histograms, slab hashing,
+// future float32 mirrors) scan one coordinate without striding over the
+// other.
+//
+// The two layouts hold identical bytes per point (2 × float64 either way);
+// geometric hot loops that need both coordinates of a point per step (the
+// distance checks in the graph builders) favor the interleaved []Point
+// form, which Points materializes with a single exact-size copy. DESIGN.md
+// §"Million-node scale tier" discusses the float32 variant and its error
+// budget.
+type SoA struct {
+	X, Y []float64
+}
+
+// MakeSoA returns an SoA with capacity for n points (length 0).
+func MakeSoA(n int) SoA {
+	return SoA{X: make([]float64, 0, n), Y: make([]float64, 0, n)}
+}
+
+// Len returns the number of points.
+func (s SoA) Len() int { return len(s.X) }
+
+// At returns point i.
+func (s SoA) At(i int) Point { return Point{X: s.X[i], Y: s.Y[i]} }
+
+// Append adds a point and returns the extended set.
+func (s SoA) Append(p Point) SoA {
+	s.X = append(s.X, p.X)
+	s.Y = append(s.Y, p.Y)
+	return s
+}
+
+// Points materializes the set as an interleaved point slice, appending to
+// dst (pass nil to allocate exactly once at the right size) and returning
+// the extended slice. This is the single AoS conversion the scale tier
+// performs: everything upstream of it streams through the slabs.
+func (s SoA) Points(dst []Point) []Point {
+	if dst == nil {
+		dst = make([]Point, 0, s.Len())
+	}
+	for i, x := range s.X {
+		dst = append(dst, Point{X: x, Y: s.Y[i]})
+	}
+	return dst
+}
+
+// FromPoints converts an interleaved point slice into SoA form.
+func FromPoints(pts []Point) SoA {
+	s := MakeSoA(len(pts))
+	for _, p := range pts {
+		s = s.Append(p)
+	}
+	return s
+}

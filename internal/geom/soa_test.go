@@ -1,0 +1,37 @@
+package geom
+
+import "testing"
+
+func TestSoARoundTrip(t *testing.T) {
+	pts := []Point{Pt(0, 1), Pt(-2.5, 3), Pt(4, 4)}
+	s := FromPoints(pts)
+	if s.Len() != len(pts) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(pts))
+	}
+	for i, p := range pts {
+		if s.At(i) != p {
+			t.Errorf("At(%d) = %v, want %v", i, s.At(i), p)
+		}
+	}
+	back := s.Points(nil)
+	if len(back) != len(pts) || cap(back) != len(pts) {
+		t.Fatalf("Points: len %d cap %d, want exact size %d", len(back), cap(back), len(pts))
+	}
+	for i := range pts {
+		if back[i] != pts[i] {
+			t.Errorf("Points[%d] = %v, want %v", i, back[i], pts[i])
+		}
+	}
+	if got := s.Points(make([]Point, 0, 8)); len(got) != len(pts) {
+		t.Errorf("Points(dst): len %d, want %d", len(got), len(pts))
+	}
+}
+
+func TestSoAAppend(t *testing.T) {
+	s := MakeSoA(2)
+	s = s.Append(Pt(1, 2))
+	s = s.Append(Pt(3, 4))
+	if s.Len() != 2 || s.At(1) != Pt(3, 4) {
+		t.Fatalf("Append built %v", s)
+	}
+}

@@ -99,17 +99,47 @@ func (b *Builder) AddEdgeUnique(u, v int32) {
 // edge appears twice across all insertions. Entries must be self-loop-free
 // and in range; this is checked.
 func (b *Builder) AddPacked(edges []uint64, unique bool) {
+	checkPacked(b.n, edges)
+	b.edges = append(b.edges, edges...)
+	if !unique {
+		b.mayDup = true
+	}
+}
+
+// Grow ensures capacity for at least m further edge insertions without
+// reallocation — the pre-sizing hook for callers that know their edge count
+// (or a good estimate) up front.
+func (b *Builder) Grow(m int) {
+	if m <= 0 || cap(b.edges)-len(b.edges) >= m {
+		return
+	}
+	grown := make([]uint64, len(b.edges), len(b.edges)+m)
+	copy(grown, b.edges)
+	b.edges = grown
+}
+
+// checkPacked validates a packed edge slab: in range, no self loops.
+func checkPacked(n int, edges []uint64) {
 	for _, e := range edges {
 		u, v := Unpack(e)
 		if u == v {
 			panic(fmt.Sprintf("graph: packed self loop at vertex %d", u))
 		}
-		b.checkRange(u, v)
+		if u < 0 || v < 0 || int(u) >= n || int(v) >= n {
+			panic(fmt.Sprintf("graph: edge (%d, %d) out of range [0, %d)", u, v, n))
+		}
 	}
-	b.edges = append(b.edges, edges...)
-	if !unique {
-		b.mayDup = true
-	}
+}
+
+// FromPacked builds the CSR directly from a slab of canonically packed
+// edges (see Pack), skipping the copy into a Builder — the zero-overhead
+// entry point for bulk generators that already hold their whole edge set in
+// one slab. unique makes the AddEdgeUnique promise: no undirected edge
+// appears twice. Entries must be self-loop-free and in range (checked).
+// The slab is only read, never retained or modified.
+func FromPacked(n int, edges []uint64, unique bool) *CSR {
+	checkPacked(n, edges)
+	return makeCSR(n, edges, !unique)
 }
 
 // Build freezes the builder into CSR form: two stable counting-sort passes
@@ -117,16 +147,20 @@ func (b *Builder) AddPacked(edges []uint64, unique bool) {
 // dedup-and-write scan. The builder remains usable; Build may be called
 // again after further insertions.
 func (b *Builder) Build() *CSR {
-	n := b.n
+	return makeCSR(b.n, b.edges, b.mayDup)
+}
+
+// makeCSR is the shared CSR construction core of Build and FromPacked.
+func makeCSR(n int, edges []uint64, mayDup bool) *CSR {
 	c := &CSR{N: n, Start: make([]int32, n+1)}
-	if len(b.edges) == 0 {
+	if len(edges) == 0 {
 		return c
 	}
 
 	// Directed pairs, packed (from << 32 | to).
-	m2 := 2 * len(b.edges)
+	m2 := 2 * len(edges)
 	a := make([]uint64, m2)
-	for i, e := range b.edges {
+	for i, e := range edges {
 		a[2*i] = e
 		a[2*i+1] = e<<32 | e>>32
 	}
@@ -168,7 +202,7 @@ func (b *Builder) Build() *CSR {
 	// duplicates when the builder may hold any. Degrees are accumulated in
 	// Start[u+1] and prefix-summed afterwards. EdgeCount is derived from the
 	// deduplicated total — never from insertion-time accounting.
-	if b.mayDup {
+	if mayDup {
 		adj := a[:0] // dedup in place; write cursor trails the read cursor
 		prev := ^uint64(0)
 		for _, x := range a {

@@ -1,0 +1,93 @@
+// Package memprof provides the memory-budget instrumentation of the scale
+// tier: Go-heap snapshots via runtime.ReadMemStats and the process
+// high-water mark (peak RSS) from the kernel, so the million-node
+// benchmarks can report bytes-per-build and peak resident memory alongside
+// time and allocs. The numbers answer the scale tier's budget question —
+// "does a 10⁶-node build fit the box?" — which allocs/op alone cannot,
+// because it misses slab reuse and non-heap mappings.
+package memprof
+
+import (
+	"bytes"
+	"os"
+	"runtime"
+	"strconv"
+)
+
+// HeapSample is a point-in-time snapshot of the Go heap.
+type HeapSample struct {
+	// HeapAlloc is the live heap in bytes (runtime.MemStats.HeapAlloc).
+	HeapAlloc uint64
+	// TotalAlloc is the cumulative bytes allocated (monotone; never falls).
+	TotalAlloc uint64
+	// Mallocs is the cumulative count of heap objects allocated.
+	Mallocs uint64
+}
+
+// ReadHeap captures the current heap state. It runs a GC first so HeapAlloc
+// reflects live data rather than float garbage; callers measuring a delta
+// take one sample before and one after the region of interest.
+func ReadHeap() HeapSample {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return HeapSample{HeapAlloc: ms.HeapAlloc, TotalAlloc: ms.TotalAlloc, Mallocs: ms.Mallocs}
+}
+
+// HeapDelta reports the memory cost of the region between two samples:
+// live growth (bytes retained, e.g. the built structure itself) and churn
+// (total bytes allocated while building it, including scratch).
+type HeapDelta struct {
+	LiveBytes  int64  // HeapAlloc after − before (retained by the result)
+	TotalBytes uint64 // bytes allocated during the region
+	Mallocs    uint64 // objects allocated during the region
+}
+
+// Delta computes the heap cost from sample before to sample after.
+func Delta(before, after HeapSample) HeapDelta {
+	return HeapDelta{
+		LiveBytes:  int64(after.HeapAlloc) - int64(before.HeapAlloc),
+		TotalBytes: after.TotalAlloc - before.TotalAlloc,
+		Mallocs:    after.Mallocs - before.Mallocs,
+	}
+}
+
+// PeakRSS returns the process's peak resident set size in bytes (VmHWM from
+// /proc/self/status) and true on success. The high-water mark is
+// process-lifetime (the kernel never lowers it), so a benchmark that wants
+// the peak of one build reports it as an upper bound; it is exact when the
+// measured build is the largest thing the process has done. Returns false on
+// platforms without procfs.
+func PeakRSS() (bytes uint64, ok bool) {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0, false
+	}
+	return parseVmHWM(data)
+}
+
+// parseVmHWM extracts the VmHWM line ("VmHWM:    123456 kB") from a
+// /proc/self/status payload.
+func parseVmHWM(data []byte) (uint64, bool) {
+	for len(data) > 0 {
+		line := data
+		if i := bytes.IndexByte(data, '\n'); i >= 0 {
+			line, data = data[:i], data[i+1:]
+		} else {
+			data = nil
+		}
+		if !bytes.HasPrefix(line, []byte("VmHWM:")) {
+			continue
+		}
+		fields := bytes.Fields(line[len("VmHWM:"):])
+		if len(fields) < 1 {
+			return 0, false
+		}
+		kb, err := strconv.ParseUint(string(fields[0]), 10, 64)
+		if err != nil {
+			return 0, false
+		}
+		return kb * 1024, true
+	}
+	return 0, false
+}

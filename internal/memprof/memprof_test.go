@@ -1,0 +1,64 @@
+package memprof
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestHeapDeltaSeesRetainedAllocation(t *testing.T) {
+	const size = 8 << 20
+	before := ReadHeap()
+	slab := make([]byte, size)
+	for i := range slab {
+		slab[i] = byte(i)
+	}
+	after := ReadHeap()
+	d := Delta(before, after)
+	// Unrelated objects may be collected between the samples, so allow a
+	// little slack below the slab size.
+	if d.LiveBytes < size-64<<10 {
+		t.Errorf("LiveBytes = %d, want ~%d (slab retained across the delta)", d.LiveBytes, size)
+	}
+	if d.TotalBytes < size {
+		t.Errorf("TotalBytes = %d, want >= %d", d.TotalBytes, size)
+	}
+	if d.Mallocs == 0 {
+		t.Error("Mallocs = 0, want > 0")
+	}
+	runtime.KeepAlive(slab)
+}
+
+func TestPeakRSS(t *testing.T) {
+	rss, ok := PeakRSS()
+	if runtime.GOOS != "linux" {
+		t.Skipf("no procfs on %s", runtime.GOOS)
+	}
+	if !ok {
+		t.Fatal("PeakRSS failed on linux")
+	}
+	// Any real Go process has megabytes of peak RSS; guard against
+	// unit confusion (kB vs bytes) with loose bounds.
+	if rss < 1<<20 || rss > 1<<46 {
+		t.Errorf("PeakRSS = %d bytes, outside plausible range", rss)
+	}
+}
+
+func TestParseVmHWM(t *testing.T) {
+	cases := []struct {
+		in   string
+		want uint64
+		ok   bool
+	}{
+		{"VmPeak:\t  100 kB\nVmHWM:\t   4096 kB\nVmRSS:\t 50 kB\n", 4096 * 1024, true},
+		{"VmHWM:  7 kB", 7 * 1024, true},
+		{"VmRSS:  7 kB\n", 0, false},
+		{"VmHWM:\n", 0, false},
+		{"", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := parseVmHWM([]byte(c.in))
+		if got != c.want || ok != c.ok {
+			t.Errorf("parseVmHWM(%q) = (%d, %v), want (%d, %v)", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}

@@ -26,6 +26,11 @@ import (
 // let those callers choose a finer, still-pure-function-of-n granularity.
 const shardSize = 1024
 
+// DefaultGrain is the shard size For/Collect use when no explicit grain is
+// given — exported so capacity-hinting callers (CollectCap) can size their
+// per-shard buffers for the default sharding.
+const DefaultGrain = shardSize
+
 // Workers returns the number of workers For and Collect will use for n
 // items at the default grain: min(GOMAXPROCS, number of shards).
 func Workers(n int) int {
@@ -119,6 +124,17 @@ func Collect[T any](n int, fn func(lo, hi int, out []T) []T) []T {
 // coarse-grained producers pass a small grain so their items spread across
 // cores even for small n, at the cost of per-shard scratch amortization.
 func CollectGrain[T any](n, grain int, fn func(lo, hi int, out []T) []T) []T {
+	return CollectCap(n, grain, 0, fn)
+}
+
+// CollectCap is CollectGrain with a per-shard output capacity hint: fn
+// receives an empty buffer of the given capacity instead of nil, so
+// producers whose output size is predictable (e.g. a fixed-radius graph
+// builder that knows the expected degree) avoid the append-growth
+// reallocation ladder on every shard. A hint of 0 is identical to
+// CollectGrain. The capacity hint has no effect on the merged result, so
+// the determinism contract is unchanged.
+func CollectCap[T any](n, grain, capacity int, fn func(lo, hi int, out []T) []T) []T {
 	if n <= 0 {
 		return nil
 	}
@@ -126,13 +142,19 @@ func CollectGrain[T any](n, grain int, fn func(lo, hi int, out []T) []T) []T {
 	if sz < 1 {
 		sz = 1
 	}
+	buf := func() []T {
+		if capacity <= 0 {
+			return nil
+		}
+		return make([]T, 0, capacity)
+	}
 	shards := (n + sz - 1) / sz
 	if shards == 1 {
-		return fn(0, n, nil)
+		return fn(0, n, buf())
 	}
 	bufs := make([][]T, shards)
 	forShardGrain(n, sz, func(lo, hi int) {
-		bufs[lo/sz] = fn(lo, hi, nil)
+		bufs[lo/sz] = fn(lo, hi, buf())
 	})
 	total := 0
 	for _, b := range bufs {

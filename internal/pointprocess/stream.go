@@ -1,0 +1,149 @@
+package pointprocess
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/parallel"
+	"repro/internal/rng"
+)
+
+// Streaming deployment generation for the million-node scale tier.
+//
+// Poisson deployments at 10⁶ points and beyond must not be produced by one
+// generator appending into one growing slice: the append ladder copies the
+// whole set log(n) times, and a single sequential RNG stream forces serial
+// generation. Instead the deployment box is sharded into square generation
+// tiles; each tile draws its own point count and coordinates from a
+// dedicated RNG substream (rng.Derive of the deployment seed and the tile
+// index), which makes tiles independent Poisson restrictions — exactly the
+// restriction property of the process — and makes generation deterministic
+// at any GOMAXPROCS, parallelizable, and resumable per tile.
+//
+// Substream discipline: the deployment consumes the substreams Derive(seed,
+// 0..tiles-1) entirely and nothing else; a caller handing a dedicated
+// scenario substream's derived seed to these generators therefore stays
+// cache-eligible under the scenario engine's rule (the build consumes its
+// stream exclusively — see docs/scenarios.md).
+
+// genTiles returns the generation-tile grid for box: gw×gh square tiles of
+// side genSide, the last row/column clipped to the box. A non-positive
+// genSide means one tile covering the whole box.
+func genTiles(box geom.Rect, genSide float64) (gw, gh int, side float64) {
+	w, h := box.Width(), box.Height()
+	if genSide <= 0 || genSide >= math.Max(w, h) {
+		return 1, 1, math.Max(w, h)
+	}
+	gw = int(math.Ceil(w / genSide))
+	gh = int(math.Ceil(h / genSide))
+	if gw < 1 {
+		gw = 1
+	}
+	if gh < 1 {
+		gh = 1
+	}
+	return gw, gh, genSide
+}
+
+// genTileRect returns the clipped rectangle of tile (tx, ty).
+func genTileRect(box geom.Rect, side float64, tx, ty int) geom.Rect {
+	r := geom.Rect{
+		Min: geom.Point{X: box.Min.X + float64(tx)*side, Y: box.Min.Y + float64(ty)*side},
+		Max: geom.Point{X: box.Min.X + float64(tx+1)*side, Y: box.Min.Y + float64(ty+1)*side},
+	}
+	if r.Max.X > box.Max.X {
+		r.Max.X = box.Max.X
+	}
+	if r.Max.Y > box.Max.Y {
+		r.Max.Y = box.Max.Y
+	}
+	return r
+}
+
+// fillTile draws tile t's realization from its substream: the Poisson count
+// first, then the uniform coordinates (x before y per point), appending to
+// xs/ys. Both passes of PoissonSoA and every StreamPoisson call replay this
+// exact draw order, which is what makes the count pass and the fill pass
+// agree.
+func fillTile(box geom.Rect, side float64, lambda float64, seed rng.Seed, gw, tx, ty int, xs, ys []float64) ([]float64, []float64) {
+	r := genTileRect(box, side, tx, ty)
+	g := rng.Sub(seed, uint64(ty*gw+tx))
+	k := PoissonCount(lambda*r.Area(), g)
+	w, h := r.Width(), r.Height()
+	for i := 0; i < k; i++ {
+		xs = append(xs, r.Min.X+g.Float64()*w)
+		ys = append(ys, r.Min.Y+g.Float64()*h)
+	}
+	return xs, ys
+}
+
+// StreamPoisson generates a Poisson(λ) deployment on box tile by tile,
+// calling emit once per generation tile with the tile's rectangle and its
+// points' coordinate slices. The slices are scratch reused across calls —
+// emit must copy anything it keeps. Tiles are emitted in row-major order;
+// the concatenation of all emissions is exactly PoissonSoA's output for the
+// same arguments (property-tested). Returns the total point count.
+//
+// This is the constant-memory form: a consumer that reduces tiles on the
+// fly (occupancy statistics, per-tile graph construction, sharded file
+// output) never holds more than one tile's points.
+func StreamPoisson(box geom.Rect, lambda float64, seed rng.Seed, genSide float64, emit func(tile geom.Rect, xs, ys []float64)) int {
+	if lambda <= 0 || box.Area() <= 0 {
+		return 0
+	}
+	gw, gh, side := genTiles(box, genSide)
+	var xs, ys []float64
+	total := 0
+	for ty := 0; ty < gh; ty++ {
+		for tx := 0; tx < gw; tx++ {
+			xs, ys = fillTile(box, side, lambda, seed, gw, tx, ty, xs[:0], ys[:0])
+			total += len(xs)
+			emit(genTileRect(box, side, tx, ty), xs, ys)
+		}
+	}
+	return total
+}
+
+// PoissonSoA generates a Poisson(λ) deployment on box into struct-of-arrays
+// coordinate slabs, sized exactly and filled tile by tile in parallel: a
+// first pass draws only the per-tile Poisson counts (a handful of uniforms
+// per tile), a prefix sum fixes every tile's slab offset, and a second pass
+// re-derives each tile's substream and writes the coordinates straight into
+// place. No intermediate slab, no append growth, identical output at any
+// GOMAXPROCS, and byte-identical to concatenating StreamPoisson's tiles.
+func PoissonSoA(box geom.Rect, lambda float64, seed rng.Seed, genSide float64) geom.SoA {
+	if lambda <= 0 || box.Area() <= 0 {
+		return geom.SoA{}
+	}
+	gw, gh, side := genTiles(box, genSide)
+	nt := gw * gh
+
+	// Pass 1: counts. Each tile's count draw is the prefix of the exact
+	// same substream the fill pass replays.
+	counts := make([]int64, nt+1)
+	parallel.ForShard(nt, func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			r := genTileRect(box, side, t%gw, t/gw)
+			counts[t+1] = int64(PoissonCount(lambda*r.Area(), rng.Sub(seed, uint64(t))))
+		}
+	})
+	for t := 0; t < nt; t++ {
+		counts[t+1] += counts[t]
+	}
+	total := counts[nt]
+
+	// Pass 2: fill. Tiles scatter into disjoint slab windows, so the
+	// parallel write is race-free and the layout is scheduling-independent.
+	s := geom.SoA{X: make([]float64, total), Y: make([]float64, total)}
+	parallel.ForShard(nt, func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			off := counts[t]
+			xs, ys := fillTile(box, side, lambda, seed, gw, t%gw, t/gw,
+				s.X[off:off:counts[t+1]], s.Y[off:off:counts[t+1]])
+			if int64(len(xs))+off != counts[t+1] || int64(len(ys))+off != counts[t+1] {
+				panic("pointprocess: tile count drifted between passes")
+			}
+		}
+	})
+	return s
+}

@@ -1,0 +1,107 @@
+package pointprocess
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func soaEqual(t *testing.T, label string, a, b geom.SoA) {
+	t.Helper()
+	if a.Len() != b.Len() {
+		t.Fatalf("%s: length %d vs %d", label, a.Len(), b.Len())
+	}
+	for i := range a.X {
+		if a.X[i] != b.X[i] || a.Y[i] != b.Y[i] {
+			t.Fatalf("%s: point %d is (%v, %v) vs (%v, %v)", label, i, a.X[i], a.Y[i], b.X[i], b.Y[i])
+		}
+	}
+}
+
+// TestStreamConcatEqualsSoA pins the documented contract: concatenating
+// StreamPoisson's row-major tile emissions reproduces PoissonSoA's slabs
+// byte for byte.
+func TestStreamConcatEqualsSoA(t *testing.T) {
+	box := geom.Box(13, 7)
+	for _, genSide := range []float64{0, 1.7, 3, 100} {
+		var cat geom.SoA
+		n := StreamPoisson(box, 5, 42, genSide, func(tile geom.Rect, xs, ys []float64) {
+			for i := range xs {
+				if !tile.Contains(geom.Pt(xs[i], ys[i])) {
+					t.Fatalf("genSide %v: point (%v, %v) outside its tile %v", genSide, xs[i], ys[i], tile)
+				}
+			}
+			cat.X = append(cat.X, xs...)
+			cat.Y = append(cat.Y, ys...)
+		})
+		if n != cat.Len() {
+			t.Fatalf("genSide %v: StreamPoisson returned %d, emitted %d", genSide, n, cat.Len())
+		}
+		soaEqual(t, "stream vs SoA", cat, PoissonSoA(box, 5, 42, genSide))
+	}
+}
+
+// TestPoissonSoADeterministicAcrossGOMAXPROCS: the two-pass parallel fill
+// must produce identical slabs at any worker count — each tile's substream
+// is re-derived, never shared.
+func TestPoissonSoADeterministicAcrossGOMAXPROCS(t *testing.T) {
+	box := geom.Box(40, 40)
+	prev := runtime.GOMAXPROCS(8)
+	wide := PoissonSoA(box, 10, 7, 0.5) // 80×80 = 6400 tiles, multiple shards
+	runtime.GOMAXPROCS(1)
+	narrow := PoissonSoA(box, 10, 7, 0.5)
+	runtime.GOMAXPROCS(prev)
+	if wide.Len() < 10000 {
+		t.Fatalf("deployment too small (%d) to exercise parallelism", wide.Len())
+	}
+	soaEqual(t, "GOMAXPROCS 1 vs 8", narrow, wide)
+}
+
+// TestPoissonSoAStatistics: points land in the box and the count matches
+// λ·area within Poisson fluctuation; different seeds give different
+// realizations, different tilings of the same seed give different but
+// equally valid ones.
+func TestPoissonSoAStatistics(t *testing.T) {
+	box := geom.NewRect(geom.Pt(-3, 2), geom.Pt(9, 11)) // offset box, area 108
+	const lambda = 20.0
+	mean := lambda * box.Area()
+	s := PoissonSoA(box, lambda, 11, 2)
+	for i := 0; i < s.Len(); i++ {
+		if !box.Contains(s.At(i)) {
+			t.Fatalf("point %d = %v outside box", i, s.At(i))
+		}
+	}
+	if dev := math.Abs(float64(s.Len()) - mean); dev > 6*math.Sqrt(mean) {
+		t.Errorf("count %d deviates from mean %v by %v (> 6σ)", s.Len(), mean, dev)
+	}
+	if other := PoissonSoA(box, lambda, 12, 2); other.Len() == s.Len() {
+		same := true
+		for i := range s.X {
+			if s.X[i] != other.X[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced the identical realization")
+		}
+	}
+}
+
+func TestPoissonSoAEdgeCases(t *testing.T) {
+	if s := PoissonSoA(geom.Box(5, 5), 0, 1, 1); s.Len() != 0 {
+		t.Error("lambda 0 should be empty")
+	}
+	if s := PoissonSoA(geom.NewRect(geom.Pt(2, 2), geom.Pt(2, 5)), 10, 1, 1); s.Len() != 0 {
+		t.Error("degenerate box should be empty")
+	}
+	if n := StreamPoisson(geom.Box(5, 5), -1, 1, 1, func(geom.Rect, []float64, []float64) {}); n != 0 {
+		t.Error("negative lambda should be empty")
+	}
+	// genSide larger than the box degrades to a single tile.
+	a := PoissonSoA(geom.Box(3, 3), 4, 9, 50)
+	b := PoissonSoA(geom.Box(3, 3), 4, 9, 0)
+	soaEqual(t, "oversized genSide vs single tile", a, b)
+}

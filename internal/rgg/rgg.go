@@ -34,14 +34,27 @@ func (g *Geometric) EdgeLength(u, v int32) float64 { return g.Pos[u].Dist(g.Pos[
 
 // UDG builds the unit disk graph with connection radius r over pts.
 // Expected time O(n) for Poisson inputs via a grid with cell size r; the
-// point loop runs sharded across all cores with per-shard edge buffers.
-// The result is deterministic: identical CSR at any GOMAXPROCS.
+// point loop runs sharded across all cores with per-shard edge buffers,
+// pre-sized from the n·πr²·density expected-degree estimate so large
+// builds skip the append-growth reallocation ladder (allocs/op is gated at
+// 100k points). The result is deterministic: identical CSR at any
+// GOMAXPROCS. The scale tier's UDGGrid builds the identical graph by
+// pair-free cell enumeration.
 func UDG(pts []geom.Point, r float64) *Geometric {
 	b := graph.NewBuilder(len(pts))
 	if len(pts) > 0 && r > 0 {
 		grid := spatial.NewGrid(pts, r)
-		edges := parallel.Collect(len(pts), func(lo, hi int, out []uint64) []uint64 {
-			var buf []int32
+		// Per-shard capacity: the shard's slice of the expected edge total,
+		// with margin so Poisson fluctuation rarely forces a growth step.
+		expDegree := 2 * expectedUDGEdges(len(pts), boundingArea(pts), r) / float64(len(pts))
+		perShard := expDegree / 2 * parallel.DefaultGrain
+		capHint := int(perShard*1.2) + 16
+		nbrCap := int(expDegree*2) + 16
+		edges := parallel.CollectCap(len(pts), parallel.DefaultGrain, capHint, func(lo, hi int, out []uint64) []uint64 {
+			// The neighbor buffer is pre-sized too: twice the expected degree
+			// covers Poisson fluctuation for all but a vanishing fraction of
+			// points, and the rare outlier grows it once per shard at most.
+			buf := make([]int32, 0, nbrCap)
 			for i := lo; i < hi; i++ {
 				buf = grid.Within(pts[i], r, buf[:0])
 				for _, j := range buf {

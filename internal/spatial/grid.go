@@ -85,6 +85,23 @@ func (g *Grid) Len() int { return len(g.pts) }
 // Points returns the indexed point slice (not a copy).
 func (g *Grid) Points() []geom.Point { return g.pts }
 
+// Dims returns the cell-grid dimensions (nx columns × ny rows).
+func (g *Grid) Dims() (nx, ny int) { return g.nx, g.ny }
+
+// CellPoints returns the indices of the points in cell (cx, cy) — a
+// subslice of the index's internal order slab, valid until the grid is
+// garbage. Out-of-range cells return nil. This is the raw bucket access
+// the pair-free fixed-radius enumeration in rgg is built on: iterating
+// cells directly visits each candidate pair once, where per-point Within
+// queries visit every pair twice.
+func (g *Grid) CellPoints(cx, cy int) []int32 {
+	if cx < 0 || cy < 0 || cx >= g.nx || cy >= g.ny {
+		return nil
+	}
+	c := cy*g.nx + cx
+	return g.order[g.start[c]:g.start[c+1]]
+}
+
 func (g *Grid) cellCoords(p geom.Point) (int, int) {
 	cx := int((p.X - g.bounds.Min.X) / g.cell)
 	cy := int((p.Y - g.bounds.Min.Y) / g.cell)
