@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify test test-race bench bench-1m baseline bench-compare ci doclint scenarios fuzz-smoke
+.PHONY: verify test test-race bench bench-1m baseline bench-compare ci doclint scenarios fuzz-smoke e2e
 
 # verify is the tier-1 gate: build (including every example), vet, full
 # test suite.
@@ -17,11 +17,12 @@ doclint:
 
 # ci is the full pre-merge pipeline: the tier-1 gate (build + vet + test),
 # the doc-comment lint, the race-detector pass over the concurrency-bearing
-# packages, a short fuzz smoke over the fault-schedule builder, and a
-# benchmark run diffed against the checked-in baseline, flagging >10% time
-# regressions. Set BENCH_STRICT=1 (time) or BENCH_STRICT_ALLOCS=1 (allocs)
-# to turn flags into a non-zero exit.
-ci: verify doclint test-race fuzz-smoke bench-compare
+# packages, the short-mode daemon e2e flow under -race, a short fuzz smoke
+# over the fault-schedule builder, and a benchmark run diffed against the
+# checked-in baseline, flagging >10% time regressions. Set BENCH_STRICT=1
+# (time) or BENCH_STRICT_ALLOCS=1 (allocs) to turn flags into a non-zero
+# exit.
+ci: verify doclint test-race e2e fuzz-smoke bench-compare
 
 # scenarios emits per-scenario wall times (JSON) from a reduced-scale
 # engine run — the experiment-level perf trajectory.
@@ -36,12 +37,24 @@ test:
 # jobs-bounded scenario execution, the discrete-event simulator (whose
 # energy sink now hangs off Send/deliver), the energy subsystem, the
 # fault-injection layer whose schedules are shared across parallel scenario
-# rows, and the mobility sampler whose trajectories are likewise cached and
-# replayed from parallel rows. Short mode: race instrumentation makes the
-# golden-scale suites several times slower, and the data-race surface is
-# fully exercised by the short tests.
+# rows, the mobility sampler whose trajectories are likewise cached and
+# replayed from parallel rows, and the serving daemon (lock-free snapshot
+# rollover, query batcher, bounded pool) with its load generator and CLI.
+# Short mode: race instrumentation makes the golden-scale suites several
+# times slower, and the data-race surface is fully exercised by the short
+# tests. The daemon's full e2e flow is excluded here (minutes under -race)
+# and covered by the dedicated e2e target.
 test-race:
-	$(GO) test -race -short ./internal/parallel ./internal/scenario ./internal/simnet ./internal/energy ./internal/fault ./internal/mobility
+	$(GO) test -race -short -skip 'TestE2E' ./internal/parallel ./internal/scenario ./internal/simnet ./internal/energy ./internal/fault ./internal/mobility ./internal/serve ./internal/serve/loadgen ./cmd/sensnetd
+
+# e2e runs the daemon acceptance flow under the race detector in short
+# mode: build a 10k-point UDG-SENS snapshot over HTTP, drive a mixed
+# route/stretch stream from the load generator at GOMAXPROCS 1 and 8, and
+# byte-compare every response against the measurement engine's direct
+# answers. (Default-mode `go test ./internal/serve` runs the same flow
+# with the full 1k-query stream, without race instrumentation.)
+e2e:
+	$(GO) test -race -short -run 'TestE2E' -timeout 15m ./internal/serve
 
 # fuzz-smoke runs the fuzz targets for a few seconds each: the
 # fault-schedule builder must never panic and alive-sets must shrink

@@ -1,0 +1,153 @@
+// Command sensnetd is the topology-as-a-service daemon: it holds built
+// SENS/HNG network snapshots in memory and serves route, stretch,
+// coverage and lifetime queries over HTTP/JSON, batching concurrent
+// queries into shared measurement sweeps.
+//
+// Usage:
+//
+//	sensnetd -addr :8080 -preload kind:udg,side:25,lambda:16,seed:42
+//	sensnetd -workers 16 -batch 128 -batchwait 1ms
+//	sensnetd -preload kind:hng,side:20,baseradius:1 -check
+//
+// The -check flag builds the preload snapshot, prints its summary and
+// exits without serving — a dry run for specs and scripts.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the daemon CLI against explicit streams and returns the
+// process exit code — the testable core of the command.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sensnetd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr      = fs.String("addr", ":8080", "listen address")
+		preload   = fs.String("preload", "", "snapshot spec to build and activate at startup, e.g. kind:udg,side:25,lambda:16,seed:42")
+		workers   = fs.Int("workers", 8, "bounded worker pool size (queries beyond it get 429)")
+		batch     = fs.Int("batch", 64, "batcher flush threshold in pairs")
+		batchwait = fs.Duration("batchwait", 2*time.Millisecond, "batcher latency bound")
+		check     = fs.Bool("check", false, "build the -preload snapshot, print its summary and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, "sensnetd: "+format+"\n", args...)
+		return 1
+	}
+
+	if *check && *preload == "" {
+		return fail("-check needs a -preload spec to build")
+	}
+
+	srv := serve.New(serve.Config{
+		Workers:       *workers,
+		MaxBatchPairs: *batch,
+		BatchWait:     *batchwait,
+	})
+
+	if *preload != "" {
+		spec, err := parsePreload(*preload)
+		if err != nil {
+			return fail("%v", err)
+		}
+		snap, err := serve.Build(spec)
+		if err != nil {
+			return fail("preload build: %v", err)
+		}
+		live, _ := srv.Store().Add(snap, true, false)
+		if err := emitInfo(stdout, live.Info); err != nil {
+			return fail("encode: %v", err)
+		}
+		if *check {
+			return 0
+		}
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(stdout, "sensnetd: listening on %s\n", *addr)
+
+	select {
+	case err := <-errc:
+		return fail("serve: %v", err)
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return fail("shutdown: %v", err)
+	}
+	fmt.Fprintln(stdout, "sensnetd: drained, exiting")
+	return 0
+}
+
+// parsePreload parses the -preload spec "key:value,..." into a BuildSpec.
+// Keys mirror the POST /snapshots JSON fields (lower-case).
+func parsePreload(spec string) (serve.BuildSpec, error) {
+	var sp serve.BuildSpec
+	for _, part := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return sp, fmt.Errorf("bad -preload entry %q (want key:value)", part)
+		}
+		var err error
+		switch key {
+		case "kind":
+			sp.Kind = val
+		case "mode":
+			sp.Mode = val
+		case "seed":
+			_, err = fmt.Sscanf(val, "%d", &sp.Seed)
+		case "stream":
+			_, err = fmt.Sscanf(val, "%d", &sp.Stream)
+		case "side":
+			_, err = fmt.Sscanf(val, "%g", &sp.Side)
+		case "lambda":
+			_, err = fmt.Sscanf(val, "%g", &sp.Lambda)
+		case "p":
+			_, err = fmt.Sscanf(val, "%g", &sp.P)
+		case "maxchildren":
+			_, err = fmt.Sscanf(val, "%d", &sp.MaxChildren)
+		case "baseradius":
+			_, err = fmt.Sscanf(val, "%g", &sp.BaseRadius)
+		case "slabcap":
+			_, err = fmt.Sscanf(val, "%d", &sp.SlabCap)
+		default:
+			return sp, fmt.Errorf("unknown -preload key %q", key)
+		}
+		if err != nil {
+			return sp, fmt.Errorf("bad -preload value for %q: %q", key, val)
+		}
+	}
+	return sp, nil
+}
+
+// emitInfo prints one snapshot's summary as indented JSON.
+func emitInfo(w io.Writer, info serve.SnapshotInfo) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(info)
+}

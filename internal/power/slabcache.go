@@ -21,12 +21,26 @@ import (
 // pointer key makes lookups free. Callers must pass the position slice the
 // graph was built over — the cache trusts the (graph, positions) pairing.
 //
+// A cache built with NewSlabCacheLRU is size-bounded: when the entry count
+// would exceed the bound, the least-recently-used slab is evicted. This is
+// what lets long-lived processes — the serving daemon measuring many
+// (snapshot, β) combinations over weeks — hold a slab cache without
+// unbounded growth; batch suite runs keep the historical unbounded
+// NewSlabCache. Eviction only drops the cache's reference: a Measurer
+// already holding an evicted slab keeps using it safely (slabs are
+// read-only by contract), and a later lookup simply rebuilds.
+//
 // A nil *SlabCache is valid and simply builds every slab fresh.
 type SlabCache struct {
-	mu     sync.Mutex
-	slabs  map[slabKey]*slabEntry
-	hits   int64
-	misses int64
+	mu    sync.Mutex
+	limit int // max entries; 0 = unbounded
+	slabs map[slabKey]*slabEntry
+	// Intrusive LRU list over the entries, most-recent at head. Only
+	// maintained when limit > 0.
+	head, tail *slabEntry
+	hits       int64
+	misses     int64
+	evictions  int64
 }
 
 type slabKey struct {
@@ -38,11 +52,27 @@ type slabKey struct {
 type slabEntry struct {
 	once sync.Once
 	w    []float64
+	// LRU bookkeeping (guarded by SlabCache.mu).
+	key        slabKey
+	prev, next *slabEntry
 }
 
-// NewSlabCache returns an empty slab cache.
+// NewSlabCache returns an empty, unbounded slab cache — the batch-suite
+// configuration, where the working set is one suite run and bounded by
+// construction.
 func NewSlabCache() *SlabCache {
 	return &SlabCache{slabs: make(map[slabKey]*slabEntry)}
+}
+
+// NewSlabCacheLRU returns an empty slab cache holding at most maxEntries
+// slabs, evicting least-recently-used entries beyond that. maxEntries <= 0
+// means unbounded (identical to NewSlabCache).
+func NewSlabCacheLRU(maxEntries int) *SlabCache {
+	c := NewSlabCache()
+	if maxEntries > 0 {
+		c.limit = maxEntries
+	}
+	return c
 }
 
 // Stats returns (hits, misses); misses count slab builds.
@@ -53,6 +83,62 @@ func (c *SlabCache) Stats() (hits, misses int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// SlabCacheStats is a point-in-time snapshot of the cache counters.
+type SlabCacheStats struct {
+	Hits      int64 // lookups served from an existing entry
+	Misses    int64 // lookups that created the entry (== slab builds)
+	Evictions int64 // entries dropped by the LRU bound
+	Entries   int   // entries currently held
+	Limit     int   // configured bound (0 = unbounded)
+}
+
+// Counters returns the full counter snapshot, including evictions and the
+// current entry count. A nil cache reports zeros.
+func (c *SlabCache) Counters() SlabCacheStats {
+	if c == nil {
+		return SlabCacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return SlabCacheStats{
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		Entries: len(c.slabs), Limit: c.limit,
+	}
+}
+
+// moveToFront makes e the most-recently-used entry. Caller holds mu.
+func (c *SlabCache) moveToFront(e *slabEntry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+// unlink removes e from the LRU list. Caller holds mu.
+func (c *SlabCache) unlink(e *slabEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	}
+	if c.head == e {
+		c.head = e.next
+	}
+	if c.tail == e {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
 }
 
 // weights returns the weight slab for (g, beta), building and caching it on
@@ -70,16 +156,31 @@ func (c *SlabCache) weights(g *graph.CSR, pos []geom.Point, beta float64) []floa
 	c.mu.Lock()
 	e, ok := c.slabs[key]
 	if !ok {
-		e = &slabEntry{}
+		e = &slabEntry{key: key}
 		c.slabs[key] = e
 		c.misses++
+		if c.limit > 0 {
+			c.moveToFront(e)
+			// Evict from the cold end until the bound holds; the entry just
+			// inserted is at the head and never the victim (limit >= 1).
+			for len(c.slabs) > c.limit {
+				victim := c.tail
+				c.unlink(victim)
+				delete(c.slabs, victim.key)
+				c.evictions++
+			}
+		}
 	} else {
 		c.hits++
+		if c.limit > 0 {
+			c.moveToFront(e)
+		}
 	}
 	c.mu.Unlock()
 	// Fill outside the lock so distinct slabs build in parallel; the entry's
 	// once guarantees each slab fills at most once even when concurrent
-	// first lookups race.
+	// first lookups race. An entry evicted while filling still completes and
+	// serves its waiters — eviction only forgets the cache's reference.
 	e.once.Do(func() { e.w = edgeWeights(g, pos, beta) })
 	return e.w
 }

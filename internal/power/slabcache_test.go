@@ -101,6 +101,87 @@ func TestSlabCacheNilSafe(t *testing.T) {
 	}
 }
 
+// TestSlabCacheLRUEviction pins the size-bounded mode end to end: a
+// limit-2 cache holding slabs for three graphs evicts in strict
+// least-recently-used order, the hit/miss/evict counters match the exact
+// access history, and an evicted slab rebuilds (fresh storage) while a
+// surviving slab keeps its storage across the eviction.
+func TestSlabCacheLRUEviction(t *testing.T) {
+	g := rng.New(11)
+	pts := pointprocess.Poisson(geom.Box(6, 6), 4, g)
+	g1 := rgg.UDG(pts, 1.0)
+	g2 := rgg.UDG(pts, 0.8)
+	g3 := rgg.UDG(pts, 0.6)
+
+	cache := NewSlabCacheLRU(2)
+	w1 := cache.weights(g1.CSR, pts, 0)  // miss: {g1}
+	cache.weights(g2.CSR, pts, 0)        // miss: {g2, g1}
+	w1b := cache.weights(g1.CSR, pts, 0) // hit, g1 to front: {g1, g2}
+	if &w1[0] != &w1b[0] {
+		t.Fatal("hit returned different slab storage")
+	}
+	cache.weights(g3.CSR, pts, 0) // miss, evicts LRU g2: {g3, g1}
+	st := cache.Counters()
+	if st.Hits != 1 || st.Misses != 3 || st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("after first eviction: %+v, want 1 hit / 3 misses / 1 eviction / 2 entries", st)
+	}
+
+	// g2 was evicted: looking it up again is a miss that rebuilds (and
+	// evicts g1, the new LRU). g3 — recently used — must survive both.
+	w3 := cache.weights(g3.CSR, pts, 0)  // hit: {g3, g1}
+	cache.weights(g2.CSR, pts, 0)        // miss, evicts g1: {g2, g3}
+	w3b := cache.weights(g3.CSR, pts, 0) // hit
+	if &w3[0] != &w3b[0] {
+		t.Fatal("surviving entry lost its storage across evictions")
+	}
+	st = cache.Counters()
+	if st.Hits != 3 || st.Misses != 4 || st.Evictions != 2 || st.Entries != 2 {
+		t.Fatalf("final counters %+v, want 3 hits / 4 misses / 2 evictions / 2 entries", st)
+	}
+	if st.Limit != 2 {
+		t.Errorf("Limit = %d, want 2", st.Limit)
+	}
+
+	// The unbounded constructors never evict.
+	if got := NewSlabCache().Counters().Limit; got != 0 {
+		t.Errorf("NewSlabCache limit = %d, want 0 (unbounded)", got)
+	}
+	if got := NewSlabCacheLRU(0).Counters().Limit; got != 0 {
+		t.Errorf("NewSlabCacheLRU(0) limit = %d, want 0 (unbounded)", got)
+	}
+}
+
+// TestSlabCacheLRUConcurrent hammers a tiny bounded cache from many
+// goroutines over more keys than the bound: no panics, no lost updates
+// (every return is a full slab), and the entry count respects the limit.
+func TestSlabCacheLRUConcurrent(t *testing.T) {
+	g := rng.New(12)
+	pts := pointprocess.Poisson(geom.Box(6, 6), 4, g)
+	graphs := []*rgg.Geometric{
+		rgg.UDG(pts, 1.0), rgg.UDG(pts, 0.8), rgg.UDG(pts, 0.6), rgg.UDG(pts, 0.4),
+	}
+	cache := NewSlabCacheLRU(2)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				gr := graphs[(w+i)%len(graphs)]
+				slab := cache.weights(gr.CSR, pts, 2)
+				if len(slab) != len(gr.Adj) {
+					t.Errorf("slab has %d weights, graph has %d edges slots", len(slab), len(gr.Adj))
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st := cache.Counters(); st.Entries > 2 {
+		t.Errorf("bounded cache holds %d entries, limit 2", st.Entries)
+	}
+}
+
 // TestSlabCacheConcurrentOnce: concurrent first lookups of one key build
 // the slab exactly once and all callers see the same slice.
 func TestSlabCacheConcurrentOnce(t *testing.T) {

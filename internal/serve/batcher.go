@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/power"
+)
+
+// Batcher groups in-flight route/stretch queries by (snapshot, β, base)
+// and answers each group with ONE power.Measurer batch — which internally
+// runs one buffered Dijkstra sweep per (source, weight), so k concurrent
+// queries sharing a source cost a single sweep, exactly the E11/E14
+// amortization. A group flushes when its accumulated pair count reaches
+// MaxPairs or when MaxWait has elapsed since its first enqueue, whichever
+// comes first.
+//
+// Correctness does not depend on grouping: every per-pair sample is a pure
+// function of (snapshot, β, pair), so a query's response is byte-identical
+// whether it flushed alone or shared a sweep with a hundred others — the
+// batcher determinism test pins this at GOMAXPROCS 1 and 8. Grouping is
+// purely an amortization, which the occupancy counters make observable.
+type Batcher struct {
+	// MaxPairs is the pair count that triggers an immediate flush (≥ 1).
+	MaxPairs int
+	// MaxWait bounds the latency cost of waiting for co-batched queries; a
+	// group older than this flushes regardless of occupancy.
+	MaxWait time.Duration
+
+	mu     sync.Mutex
+	groups map[groupKey]*batchGroup
+
+	// Occupancy counters (atomic; exposed via Stats).
+	flushes      atomic.Int64
+	queries      atomic.Int64
+	pairs        atomic.Int64
+	multiFlushes atomic.Int64
+	maxOccupancy atomic.Int64
+}
+
+// groupKey identifies one batchable measurement family: the snapshot
+// (pointer identity — snapshots are immutable and interned by the store),
+// the weight (β), and whether the base graph participates.
+type groupKey struct {
+	snap *Snapshot
+	beta uint64 // math.Float64bits(β): exact identity, no float map keys
+	base bool
+}
+
+// batchGroup accumulates the in-flight queries of one key until flush.
+type batchGroup struct {
+	key     groupKey
+	beta    float64
+	reqs    []*batchReq
+	npairs  int
+	timer   *time.Timer
+	flushed bool
+}
+
+// batchReq is one enqueued query: its pairs and the channel its slice of
+// the group result arrives on.
+type batchReq struct {
+	pairs []power.Pair
+	done  chan []power.StretchSample
+}
+
+// NewBatcher returns a batcher with the given flush bounds. maxPairs < 1
+// is treated as 1 (every query flushes immediately — batching off).
+func NewBatcher(maxPairs int, maxWait time.Duration) *Batcher {
+	if maxPairs < 1 {
+		maxPairs = 1
+	}
+	if maxWait <= 0 {
+		maxWait = time.Millisecond
+	}
+	return &Batcher{MaxPairs: maxPairs, MaxWait: maxWait, groups: make(map[groupKey]*batchGroup)}
+}
+
+// BatcherStats is the occupancy counter snapshot served by /metrics: the
+// proof that grouping happens (MultiQueryFlushes > 0) and how dense it
+// runs (QueriesPerFlush).
+type BatcherStats struct {
+	// Flushes counts measurement sweeps executed; Queries and Pairs count
+	// what they carried.
+	Flushes int64 `json:"flushes"`
+	Queries int64 `json:"queries"`
+	Pairs   int64 `json:"pairs"`
+	// MultiQueryFlushes counts flushes that amortized ≥ 2 queries into one
+	// sweep; MaxOccupancy is the densest flush observed.
+	MultiQueryFlushes int64 `json:"multiQueryFlushes"`
+	MaxOccupancy      int64 `json:"maxOccupancy"`
+	// QueriesPerFlush is the mean occupancy (0 when nothing flushed).
+	QueriesPerFlush float64 `json:"queriesPerFlush"`
+}
+
+// Stats returns the current occupancy counters.
+func (b *Batcher) Stats() BatcherStats {
+	st := BatcherStats{
+		Flushes:           b.flushes.Load(),
+		Queries:           b.queries.Load(),
+		Pairs:             b.pairs.Load(),
+		MultiQueryFlushes: b.multiFlushes.Load(),
+		MaxOccupancy:      b.maxOccupancy.Load(),
+	}
+	if st.Flushes > 0 {
+		st.QueriesPerFlush = float64(st.Queries) / float64(st.Flushes)
+	}
+	return st
+}
+
+// Measure enqueues the query's pairs into the (snap, beta, withBase) group
+// and blocks until the group's sweep delivers the samples, in pair order.
+// The caller must hold a drain reference on snap across the call (the
+// server's query path does, and Measure blocks until the sweep finishes,
+// so the reference outlives every use of the snapshot's slabs).
+func (b *Batcher) Measure(snap *Snapshot, beta float64, withBase bool, pairs []power.Pair) []power.StretchSample {
+	if len(pairs) == 0 {
+		return nil
+	}
+	req := &batchReq{pairs: pairs, done: make(chan []power.StretchSample, 1)}
+	key := groupKey{snap: snap, beta: math.Float64bits(beta), base: withBase}
+
+	b.mu.Lock()
+	g := b.groups[key]
+	if g == nil {
+		g = &batchGroup{key: key, beta: beta}
+		b.groups[key] = g
+		g.timer = time.AfterFunc(b.MaxWait, func() { b.flush(g) })
+	}
+	g.reqs = append(g.reqs, req)
+	g.npairs += len(pairs)
+	if g.npairs >= b.MaxPairs {
+		b.detachLocked(g)
+		b.mu.Unlock()
+		b.run(g)
+	} else {
+		b.mu.Unlock()
+	}
+	return <-req.done
+}
+
+// detachLocked removes g from the pending map and stops its timer; the
+// caller (holding mu) then owns the group exclusively.
+func (b *Batcher) detachLocked(g *batchGroup) {
+	g.flushed = true
+	g.timer.Stop()
+	delete(b.groups, g.key)
+}
+
+// flush is the timer path: detach the group if it is still pending and run
+// its sweep.
+func (b *Batcher) flush(g *batchGroup) {
+	b.mu.Lock()
+	if g.flushed {
+		b.mu.Unlock()
+		return
+	}
+	b.detachLocked(g)
+	b.mu.Unlock()
+	b.run(g)
+}
+
+// run executes one detached group: a single Measurer batch over the
+// concatenated pairs, split back per query in enqueue order. Runs on the
+// goroutine that triggered the flush (the size-threshold enqueuer or the
+// timer); the Measurer parallelizes the per-source sweeps internally.
+func (b *Batcher) run(g *batchGroup) {
+	occ := int64(len(g.reqs))
+	b.flushes.Add(1)
+	b.queries.Add(occ)
+	b.pairs.Add(int64(g.npairs))
+	if occ > 1 {
+		b.multiFlushes.Add(1)
+	}
+	for {
+		cur := b.maxOccupancy.Load()
+		if occ <= cur || b.maxOccupancy.CompareAndSwap(cur, occ) {
+			break
+		}
+	}
+
+	all := make([]power.Pair, 0, g.npairs)
+	for _, r := range g.reqs {
+		all = append(all, r.pairs...)
+	}
+	m := g.key.snap.measurer(g.beta, g.key.base)
+	samples := m.Pairs(all)
+	off := 0
+	for _, r := range g.reqs {
+		r.done <- samples[off : off+len(r.pairs)]
+		off += len(r.pairs)
+	}
+}

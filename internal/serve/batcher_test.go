@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// runConcurrentIdentical issues n identical route queries concurrently
+// against a batcher sized so the n-th enqueue (and nothing earlier)
+// triggers the flush — a barrier that guarantees all n queries share one
+// measurement sweep. Returns the n response bodies.
+func runConcurrentIdentical(t *testing.T, s *Server, n int, body string) [][]byte {
+	t.Helper()
+	bodies := make([][]byte, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rec := doReq(t, s, http.MethodPost, "/query/route", body)
+			if rec.Code != http.StatusOK {
+				t.Errorf("query %d: status %d body %s", i, rec.Code, rec.Body.String())
+				return
+			}
+			bodies[i] = rec.Body.Bytes()
+		}(i)
+	}
+	wg.Wait()
+	return bodies
+}
+
+// TestBatcherDeterminism is the batcher-determinism satellite: N
+// concurrent identical route queries return byte-identical bodies at
+// GOMAXPROCS 1 and 8, and the occupancy counters prove they were answered
+// by one multi-query sweep rather than N independent ones.
+func TestBatcherDeterminism(t *testing.T) {
+	const n = 16
+	const pairsPerQuery = 3
+	body := `{"beta":3,"pairs":[{"u":0,"v":1},{"u":2,"v":3},{"u":4,"v":5}]}`
+
+	// Serial baseline: the body a lone, unbatched query produces.
+	ref := New(Config{MaxBatchPairs: 1, BatchWait: time.Microsecond})
+	loadSmall(t, ref)
+	refRec := doReq(t, ref, http.MethodPost, "/query/route", body)
+	if refRec.Code != http.StatusOK {
+		t.Fatalf("baseline query: status %d", refRec.Code)
+	}
+	want := refRec.Body.Bytes()
+
+	for _, procs := range []int{1, 8} {
+		t.Run(fmt.Sprintf("gomaxprocs=%d", procs), func(t *testing.T) {
+			prev := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(prev)
+
+			// MaxBatchPairs = n*pairsPerQuery means the flush fires exactly
+			// when the last query arrives; MaxWait is long enough that the
+			// timer never wins the race.
+			s := New(Config{Workers: n, MaxBatchPairs: n * pairsPerQuery, BatchWait: 10 * time.Second})
+			loadSmall(t, s)
+			bodies := runConcurrentIdentical(t, s, n, body)
+			for i, b := range bodies {
+				if !bytes.Equal(b, want) {
+					t.Fatalf("query %d body diverged from the serial baseline:\n got %s\nwant %s", i, b, want)
+				}
+			}
+
+			st := s.Batcher().Stats()
+			if st.MultiQueryFlushes < 1 {
+				t.Fatalf("no multi-query sweep recorded: %+v", st)
+			}
+			if st.MaxOccupancy != n {
+				t.Fatalf("max occupancy %d, want %d (all queries in one sweep)", st.MaxOccupancy, n)
+			}
+			if st.Queries != n || st.Flushes != 1 {
+				t.Fatalf("expected one flush carrying %d queries: %+v", n, st)
+			}
+		})
+	}
+}
+
+// TestBatcherGroupsByBeta verifies queries with different β never share a
+// sweep: the weight is part of the group key, so mixing them would poison
+// the shared Dijkstra.
+func TestBatcherGroupsByBeta(t *testing.T) {
+	s := New(Config{Workers: 4, MaxBatchPairs: 1 << 20, BatchWait: 20 * time.Millisecond})
+	loadSmall(t, s)
+
+	var wg sync.WaitGroup
+	for _, body := range []string{
+		`{"beta":2.5,"pairs":[{"u":0,"v":1}]}`,
+		`{"beta":3.5,"pairs":[{"u":0,"v":1}]}`,
+	} {
+		wg.Add(1)
+		go func(body string) {
+			defer wg.Done()
+			if rec := doReq(t, s, http.MethodPost, "/query/route", body); rec.Code != http.StatusOK {
+				t.Errorf("status %d", rec.Code)
+			}
+		}(body)
+	}
+	wg.Wait()
+
+	st := s.Batcher().Stats()
+	if st.Flushes != 2 || st.MultiQueryFlushes != 0 {
+		t.Fatalf("distinct betas must flush separately: %+v", st)
+	}
+}
+
+// TestBatcherTimerFlush verifies the latency bound: a lone query under the
+// size threshold still flushes once MaxWait elapses.
+func TestBatcherTimerFlush(t *testing.T) {
+	s := New(Config{MaxBatchPairs: 1 << 20, BatchWait: 5 * time.Millisecond})
+	loadSmall(t, s)
+	start := time.Now()
+	rec := doReq(t, s, http.MethodPost, "/query/route", `{"pairs":[{"u":0,"v":1}]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timer flush took %v — latency bound not honored", elapsed)
+	}
+	if st := s.Batcher().Stats(); st.Flushes != 1 || st.Queries != 1 {
+		t.Fatalf("unexpected stats: %+v", st)
+	}
+}

@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/election"
+	"repro/internal/geom"
+	"repro/internal/hng"
+	"repro/internal/pointprocess"
+	"repro/internal/power"
+	"repro/internal/rgg"
+	"repro/internal/rng"
+	"repro/internal/tiling"
+)
+
+// BuildSpec is the JSON body of POST /snapshots: the semantic parameters
+// of one snapshot build. The zero value of every optional field selects
+// the documented default, so {"kind":"udg","seed":1} is a complete spec.
+type BuildSpec struct {
+	// Kind selects the construction: "udg" (UDG-SENS via the tile-sharded
+	// scale-tier build) or "hng" (hierarchical neighbor graph).
+	Kind string `json:"kind"`
+	// Seed and Stream locate the deployment's RNG substream (rng.Sub(Seed,
+	// Stream)); an HNG's level draws use Stream+1, the adjacent substream.
+	Seed   uint64 `json:"seed"`
+	Stream uint64 `json:"stream"`
+	// Side is the deployment box side (default 30); Lambda the Poisson
+	// intensity (default 16).
+	Side   float64 `json:"side"`
+	Lambda float64 `json:"lambda"`
+	// Mode picks the UDG-SENS tile geometry: "literal", "repaired"
+	// (default) or "relaxed". Ignored for HNG.
+	Mode string `json:"mode"`
+	// P and MaxChildren parameterize the HNG (defaults hng.DefaultSpec).
+	// Ignored for UDG.
+	P           float64 `json:"p"`
+	MaxChildren int     `json:"maxChildren"`
+	// BaseRadius, for HNG only, additionally builds the UDG base graph at
+	// this radius so the snapshot can serve stretch queries; 0 (default)
+	// skips it. UDG-SENS snapshots always carry their UDG base.
+	BaseRadius float64 `json:"baseRadius"`
+	// SlabCap bounds the snapshot's weight-slab LRU cache in entries
+	// (default 8: two β values measured against sub and base).
+	SlabCap int `json:"slabCap"`
+}
+
+// normalize applies defaults and validates the spec.
+func (sp *BuildSpec) normalize() error {
+	if sp.Kind != "udg" && sp.Kind != "hng" {
+		return fmt.Errorf("unknown kind %q (want udg | hng)", sp.Kind)
+	}
+	if sp.Side == 0 {
+		sp.Side = 30
+	}
+	if sp.Lambda == 0 {
+		sp.Lambda = 16
+	}
+	if sp.Side < 0 || sp.Lambda < 0 {
+		return fmt.Errorf("side and lambda must be positive (side=%v, lambda=%v)", sp.Side, sp.Lambda)
+	}
+	if sp.Mode == "" {
+		sp.Mode = "repaired"
+	}
+	if _, err := udgSpecFor(sp.Mode); sp.Kind == "udg" && err != nil {
+		return err
+	}
+	if sp.P == 0 {
+		sp.P = hng.DefaultSpec().P
+	}
+	if sp.MaxChildren == 0 {
+		sp.MaxChildren = hng.DefaultSpec().MaxChildren
+	}
+	if sp.BaseRadius < 0 {
+		return fmt.Errorf("baseRadius must be >= 0 (got %v)", sp.BaseRadius)
+	}
+	if sp.SlabCap == 0 {
+		sp.SlabCap = 8
+	}
+	return nil
+}
+
+// udgSpecFor maps a geometry mode name to its tile spec.
+func udgSpecFor(mode string) (tiling.UDGSpec, error) {
+	switch mode {
+	case "literal":
+		return tiling.PaperUDGSpec(), nil
+	case "repaired":
+		return tiling.DefaultUDGSpec(), nil
+	case "relaxed":
+		return tiling.RelaxedUDGSpec(), nil
+	}
+	return tiling.UDGSpec{}, fmt.Errorf("unknown mode %q (want literal | repaired | relaxed)", mode)
+}
+
+// Key returns the snapshot's content-shaped identity, in the scenario
+// engine's cache-key scheme: the deployment key ("poisson|s=…|st=…|box=…|
+// l=…") extended by the structure key ("udgsens|…|spec=…|opt=…" /
+// "hng|…|spec=…|st=…"), a pure function of everything the build consumes.
+// The spec must be normalized; Build guarantees that.
+func (sp *BuildSpec) Key() string {
+	box := geom.Box(sp.Side, sp.Side)
+	dep := fmt.Sprintf("poisson|s=%d|st=%d|box=%v|l=%v", sp.Seed, sp.Stream, box, sp.Lambda)
+	switch sp.Kind {
+	case "udg":
+		spec, _ := udgSpecFor(sp.Mode)
+		opt := struct {
+			Election election.Algorithm
+			SkipBase bool
+		}{}
+		return fmt.Sprintf("udgsens|%s|spec=%+v|opt=%+v", dep, spec, opt)
+	default:
+		spec := hng.Spec{P: sp.P, MaxChildren: sp.MaxChildren}
+		key := fmt.Sprintf("hng|%s|spec=%+v|st=%d", dep, spec, sp.Stream+1)
+		if sp.BaseRadius > 0 {
+			key += fmt.Sprintf("|base=udg|r=%v", sp.BaseRadius)
+		}
+		return key
+	}
+}
+
+// Build constructs the immutable snapshot the spec describes: the Poisson
+// deployment from the spec's substream, then the UDG-SENS network via the
+// tile-sharded scale-tier pipeline (core.BuildUDGSharded, base included)
+// or the hierarchical neighbor graph (hng.Build, optional UDG base). The
+// result is deterministic — a pure function of the normalized spec — which
+// is what makes the content-shaped key an identity.
+func Build(sp BuildSpec) (*Snapshot, error) {
+	if err := sp.normalize(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	box := geom.Box(sp.Side, sp.Side)
+	pts := pointprocess.Poisson(box, sp.Lambda, rng.Sub(rng.Seed(sp.Seed), sp.Stream))
+
+	s := &Snapshot{Pts: pts, slabs: power.NewSlabCacheLRU(sp.SlabCap)}
+	key := sp.Key()
+	s.Info = SnapshotInfo{ID: snapshotID(key), Key: key, Points: len(pts)}
+
+	switch sp.Kind {
+	case "udg":
+		spec, _ := udgSpecFor(sp.Mode)
+		net, err := core.BuildUDGSharded(pts, box, spec, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		s.Graph = net.Graph
+		if net.Base != nil {
+			s.Base = net.Base.CSR
+		}
+		s.Members = net.Members
+		s.Info.Kind = "udg-sens"
+		s.Info.GoodFraction = net.GoodFraction()
+	default:
+		spec := hng.Spec{P: sp.P, MaxChildren: sp.MaxChildren}
+		g, err := hng.Build(pts, spec, rng.Sub(rng.Seed(sp.Seed), sp.Stream+1))
+		if err != nil {
+			return nil, err
+		}
+		s.Graph = g.CSR
+		s.Members = g.Vertices()
+		if sp.BaseRadius > 0 {
+			s.Base = rgg.UDGGrid(pts, sp.BaseRadius).CSR
+		}
+		s.Info.Kind = "hng"
+	}
+
+	s.Info.Members = len(s.Members)
+	s.Info.Edges = s.Graph.EdgeCount
+	s.Info.MaxDegree = s.Graph.MaxDegree()
+	if len(pts) > 0 {
+		s.Info.ActiveFraction = float64(len(s.Members)) / float64(len(pts))
+	}
+	s.Info.HasBase = s.Base != nil
+	s.Info.BuildMillis = float64(time.Since(start).Microseconds()) / 1e3
+	return s, nil
+}

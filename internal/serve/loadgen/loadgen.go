@@ -1,0 +1,200 @@
+// Package loadgen is the deterministic load generator for the sensnetd
+// serving layer: it synthesizes a reproducible stream of route/stretch
+// query bodies from a seed and drives them through any http.Handler
+// in-process, reporting qps and latency quantiles. The generator owns its
+// wire structs (a hand-rolled copy of the daemon's request shape) so it
+// can be imported by the serve package's own tests without a cycle.
+package loadgen
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Spec parameterizes one deterministic load run. The same Spec over the
+// same member set always generates the same query bodies in the same
+// order.
+type Spec struct {
+	// Seed drives pair selection; Queries is the number of requests to
+	// generate (default 100) and PairsPerQuery the pairs in each body
+	// (default 4).
+	Seed          uint64
+	Queries       int
+	PairsPerQuery int
+	// StretchFraction in [0, 1] is the fraction of queries sent to
+	// /query/stretch (the rest go to /query/route); Beta is the path-loss
+	// exponent those stretch queries carry.
+	StretchFraction float64
+	Beta            float64
+	// Snapshot names the snapshot id to query ("" = current).
+	Snapshot string
+	// Concurrency is the number of client workers in Run (default 1).
+	Concurrency int
+}
+
+// withDefaults fills unset fields.
+func (sp Spec) withDefaults() Spec {
+	if sp.Queries == 0 {
+		sp.Queries = 100
+	}
+	if sp.PairsPerQuery == 0 {
+		sp.PairsPerQuery = 4
+	}
+	if sp.Concurrency == 0 {
+		sp.Concurrency = 1
+	}
+	return sp
+}
+
+// Query is one pre-encoded request: the target path and the JSON body the
+// daemon will see.
+type Query struct {
+	// Path is "/query/route" or "/query/stretch"; Body the encoded JSON.
+	Path string
+	Body []byte
+}
+
+// pairSpec mirrors the daemon's pair wire shape.
+type pairSpec struct {
+	U int32 `json:"u"`
+	V int32 `json:"v"`
+}
+
+// loadgenStream is the RNG substream the generator draws from, disjoint
+// from the build and lifetime substreams.
+const loadgenStream = 9001
+
+// Generate synthesizes the deterministic query stream: pairs are drawn
+// uniformly from members (both endpoints always members, so route queries
+// exercise real structure paths), and every ⌈1/StretchFraction⌉-th query
+// is a stretch query. Bodies are encoded once here so Run does zero
+// marshaling on the timed path.
+func Generate(members []int32, sp Spec) []Query {
+	sp = sp.withDefaults()
+	r := rng.Sub(rng.Seed(sp.Seed), loadgenStream)
+	queries := make([]Query, sp.Queries)
+	stretchEvery := 0
+	if sp.StretchFraction > 0 {
+		stretchEvery = int(1 / sp.StretchFraction)
+		if stretchEvery < 1 {
+			stretchEvery = 1
+		}
+	}
+	for i := range queries {
+		pairs := make([]pairSpec, sp.PairsPerQuery)
+		for j := range pairs {
+			pairs[j] = pairSpec{
+				U: members[r.IntN(len(members))],
+				V: members[r.IntN(len(members))],
+			}
+		}
+		stretch := stretchEvery > 0 && i%stretchEvery == 0
+		path := "/query/route"
+		beta := 0.0
+		if stretch {
+			path = "/query/stretch"
+			beta = sp.Beta
+		}
+		queries[i] = Query{Path: path, Body: encodeBody(sp.Snapshot, beta, pairs)}
+	}
+	return queries
+}
+
+// encodeBody hand-encodes the query JSON in the daemon's field order —
+// deterministic bytes without importing the daemon's types.
+func encodeBody(snapshot string, beta float64, pairs []pairSpec) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, `{"snapshot":%q,"beta":%v,"pairs":[`, snapshot, beta)
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `{"u":%d,"v":%d}`, p.U, p.V)
+	}
+	b.WriteString("]}")
+	return b.Bytes()
+}
+
+// Response is one query's outcome: the HTTP status and the exact response
+// body, indexed like the Generate stream so callers can byte-compare
+// against independently computed answers.
+type Response struct {
+	Status int
+	Body   []byte
+}
+
+// Result summarizes one Run.
+type Result struct {
+	// Queries is the number of requests issued; Failed counts non-200
+	// responses.
+	Queries int
+	Failed  int
+	// Elapsed is the wall-clock span of the run; QPS Queries/Elapsed.
+	Elapsed time.Duration
+	QPS     float64
+	// P50 and P99 are per-request latency quantiles (nearest-rank).
+	P50 time.Duration
+	P99 time.Duration
+	// Responses holds every response in query order.
+	Responses []Response
+}
+
+// Run drives the queries through h in-process (httptest request /
+// recorder — no sockets, so the numbers measure the serving stack, not
+// the kernel). Workers claim queries by atomic index; responses land at
+// the query's own index, so Result.Responses is deterministic even though
+// completion order is not.
+func Run(h http.Handler, queries []Query, concurrency int) Result {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	res := Result{Queries: len(queries), Responses: make([]Response, len(queries))}
+	latencies := make([]time.Duration, len(queries))
+
+	var wg sync.WaitGroup
+	next := make(chan int)
+	start := time.Now()
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				q := queries[i]
+				req := httptest.NewRequest(http.MethodPost, q.Path, bytes.NewReader(q.Body))
+				rec := httptest.NewRecorder()
+				t0 := time.Now()
+				h.ServeHTTP(rec, req)
+				latencies[i] = time.Since(t0)
+				res.Responses[i] = Response{Status: rec.Code, Body: rec.Body.Bytes()}
+			}
+		}()
+	}
+	for i := range queries {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+
+	for _, r := range res.Responses {
+		if r.Status != http.StatusOK {
+			res.Failed++
+		}
+	}
+	if res.Elapsed > 0 {
+		res.QPS = float64(res.Queries) / res.Elapsed.Seconds()
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	if n := len(latencies); n > 0 {
+		res.P50 = latencies[n/2]
+		res.P99 = latencies[n*99/100]
+	}
+	return res
+}

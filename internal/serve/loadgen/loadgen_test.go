@@ -1,0 +1,114 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+)
+
+func members(n int) []int32 {
+	m := make([]int32, n)
+	for i := range m {
+		m[i] = int32(i)
+	}
+	return m
+}
+
+// TestGenerateDeterministic pins that the same spec over the same members
+// yields byte-identical query streams — the property the e2e and bench
+// comparisons stand on.
+func TestGenerateDeterministic(t *testing.T) {
+	sp := Spec{Seed: 9, Queries: 50, PairsPerQuery: 3, StretchFraction: 0.25, Beta: 3}
+	a := Generate(members(100), sp)
+	b := Generate(members(100), sp)
+	if len(a) != 50 {
+		t.Fatalf("generated %d queries, want 50", len(a))
+	}
+	for i := range a {
+		if a[i].Path != b[i].Path || !bytes.Equal(a[i].Body, b[i].Body) {
+			t.Fatalf("query %d differs between identical runs", i)
+		}
+	}
+}
+
+// TestGenerateMix verifies the stretch fraction and that bodies decode
+// with in-range member pairs.
+func TestGenerateMix(t *testing.T) {
+	qs := Generate(members(40), Spec{Seed: 1, Queries: 100, PairsPerQuery: 2, StretchFraction: 0.25, Beta: 2.5})
+	stretch := 0
+	for i, q := range qs {
+		var body struct {
+			Snapshot string  `json:"snapshot"`
+			Beta     float64 `json:"beta"`
+			Pairs    []struct {
+				U int32 `json:"u"`
+				V int32 `json:"v"`
+			} `json:"pairs"`
+		}
+		if err := json.Unmarshal(q.Body, &body); err != nil {
+			t.Fatalf("query %d body does not decode: %v", i, err)
+		}
+		if len(body.Pairs) != 2 {
+			t.Fatalf("query %d has %d pairs, want 2", i, len(body.Pairs))
+		}
+		for _, p := range body.Pairs {
+			if p.U < 0 || p.U >= 40 || p.V < 0 || p.V >= 40 {
+				t.Fatalf("query %d pair (%d,%d) outside the member range", i, p.U, p.V)
+			}
+		}
+		switch q.Path {
+		case "/query/stretch":
+			stretch++
+			if body.Beta != 2.5 {
+				t.Fatalf("stretch query %d carries beta %v, want 2.5", i, body.Beta)
+			}
+		case "/query/route":
+			if body.Beta != 0 {
+				t.Fatalf("route query %d carries beta %v, want 0", i, body.Beta)
+			}
+		default:
+			t.Fatalf("query %d has unexpected path %q", i, q.Path)
+		}
+	}
+	if stretch != 25 {
+		t.Fatalf("%d stretch queries of 100, want 25", stretch)
+	}
+}
+
+// TestRunAccounting drives the generator against a canned handler and
+// checks the result bookkeeping: per-query response placement, failure
+// counting and sane latency quantiles.
+func TestRunAccounting(t *testing.T) {
+	qs := Generate(members(10), Spec{Seed: 3, Queries: 20, PairsPerQuery: 1})
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		if r.URL.Path == "/query/stretch" {
+			w.WriteHeader(http.StatusBadRequest)
+		}
+		w.Write(body) // echo, so responses are per-query distinguishable
+	})
+	res := Run(h, qs, 4)
+	if res.Queries != 20 || len(res.Responses) != 20 {
+		t.Fatalf("accounting: %+v", res)
+	}
+	for i, r := range res.Responses {
+		if !bytes.Equal(r.Body, qs[i].Body) {
+			t.Fatalf("response %d landed at the wrong index", i)
+		}
+	}
+	if res.Failed != 0 {
+		t.Fatalf("route-only stream reported %d failures", res.Failed)
+	}
+	if res.QPS <= 0 || res.P99 < res.P50 {
+		t.Fatalf("implausible rates: %+v", res)
+	}
+
+	// A stream with stretch queries sees the canned 400s counted as failed.
+	qs = Generate(members(10), Spec{Seed: 3, Queries: 20, PairsPerQuery: 1, StretchFraction: 0.5, Beta: 3})
+	res = Run(h, qs, 2)
+	if res.Failed != 10 {
+		t.Fatalf("failed %d, want 10", res.Failed)
+	}
+}

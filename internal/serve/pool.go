@@ -1,0 +1,60 @@
+package serve
+
+import "sync/atomic"
+
+// Pool is the daemon's bounded worker pool: a counting semaphore capping
+// the number of queries computing at once. Admission is non-blocking —
+// when the pool is full the server answers 429 with Retry-After instead
+// of queueing unboundedly, so overload degrades by shedding rather than
+// by latency collapse.
+type Pool struct {
+	sem      chan struct{}
+	rejected atomic.Int64
+}
+
+// NewPool returns a pool admitting up to n concurrent workers (n < 1 is
+// treated as 1).
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	return &Pool{sem: make(chan struct{}, n)}
+}
+
+// TryAcquire claims a worker slot without blocking; false means the pool
+// is saturated (counted in Rejected).
+func (p *Pool) TryAcquire() bool {
+	select {
+	case p.sem <- struct{}{}:
+		return true
+	default:
+		p.rejected.Add(1)
+		return false
+	}
+}
+
+// Release returns a slot claimed by TryAcquire.
+func (p *Pool) Release() { <-p.sem }
+
+// Cap returns the pool capacity; InUse the currently claimed slots.
+func (p *Pool) Cap() int { return cap(p.sem) }
+
+// InUse returns the number of currently claimed slots.
+func (p *Pool) InUse() int { return len(p.sem) }
+
+// Rejected returns the number of admissions refused so far.
+func (p *Pool) Rejected() int64 { return p.rejected.Load() }
+
+// PoolStats is the /metrics snapshot of the pool.
+type PoolStats struct {
+	// Cap is the worker bound; InUse the slots claimed at snapshot time.
+	Cap   int `json:"cap"`
+	InUse int `json:"inUse"`
+	// Rejected counts 429 responses issued for pool saturation.
+	Rejected int64 `json:"rejected"`
+}
+
+// Stats returns the current pool counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{Cap: p.Cap(), InUse: p.InUse(), Rejected: p.Rejected()}
+}

@@ -64,6 +64,7 @@ BEGIN { n = 0 }
 /^Benchmark/ {
     name = $1; sub(/-[0-9]+$/, "", name)
     ns = ""; bytes = ""; allocs = ""; extra = ""; rss = ""; live = ""
+    qps = ""; p50 = ""; p99 = ""
     for (i = 2; i <= NF; i++) {
         if ($(i+1) == "ns/op")     ns = $i
         if ($(i+1) == "B/op")      bytes = $i
@@ -71,6 +72,9 @@ BEGIN { n = 0 }
         if ($(i+1) == "points")    extra = $i
         if ($(i+1) == "peakRSS-B") rss = $i
         if ($(i+1) == "live-B/op") live = $i
+        if ($(i+1) == "qps")       qps = $i
+        if ($(i+1) == "p50-us")    p50 = $i
+        if ($(i+1) == "p99-us")    p99 = $i
     }
     if (ns == "") next
     line = sprintf("    {\"name\": \"%s\", \"ns_per_op\": %s", name, ns)
@@ -79,6 +83,12 @@ BEGIN { n = 0 }
     if (extra != "")  line = line sprintf(", \"points\": %s", extra)
     if (live != "")   line = line sprintf(", \"live_bytes_per_op\": %.0f", live)
     if (rss != "")    line = line sprintf(", \"peak_rss_bytes\": %.0f", rss)
+    # The serving-layer loadgen benchmark reports throughput and latency
+    # quantiles; qps regressions are advisory (timing-derived), allocs on
+    # the route hot path carry the hard gate.
+    if (qps != "")    line = line sprintf(", \"qps\": %.0f", qps)
+    if (p50 != "")    line = line sprintf(", \"p50_us\": %.0f", p50)
+    if (p99 != "")    line = line sprintf(", \"p99_us\": %.0f", p99)
     line = line "}"
     rows[n++] = line
 }
