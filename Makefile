@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify test test-race bench bench-1m baseline bench-compare ci doclint scenarios fuzz-smoke e2e
+.PHONY: verify test test-race bench bench-1m baseline bench-compare ci doclint sensvet scenarios fuzz-smoke e2e
 
 # verify is the tier-1 gate: build (including every example), vet, full
 # test suite.
@@ -15,14 +15,22 @@ verify:
 doclint:
 	$(GO) run ./cmd/doclint ./...
 
+# sensvet runs the determinism lints (see cmd/sensvet and DESIGN.md
+# "Static-analysis gates"): map-iteration order leaks, wall-clock and
+# global-RNG use outside the serving layer, the RNG substream registry
+# cross-check, and waiver hygiene. The tree must stay sensvet-clean;
+# deliberate exceptions carry `//sensvet:allow <rule> — <reason>` waivers.
+sensvet:
+	$(GO) run ./cmd/sensvet ./...
+
 # ci is the full pre-merge pipeline: the tier-1 gate (build + vet + test),
-# the doc-comment lint, the race-detector pass over the concurrency-bearing
-# packages, the short-mode daemon e2e flow under -race, a short fuzz smoke
-# over the fault-schedule builder, and a benchmark run diffed against the
-# checked-in baseline, flagging >10% time regressions. Set BENCH_STRICT=1
-# (time) or BENCH_STRICT_ALLOCS=1 (allocs) to turn flags into a non-zero
-# exit.
-ci: verify doclint test-race e2e fuzz-smoke bench-compare
+# the doc-comment lint, the determinism lints, the race-detector pass over
+# every internal and cmd package, the short-mode daemon e2e flow under
+# -race, a short fuzz smoke over the fault-schedule builder, and a
+# benchmark run diffed against the checked-in baseline, flagging >10% time
+# regressions. Set BENCH_STRICT=1 (time) or BENCH_STRICT_ALLOCS=1 (allocs)
+# to turn flags into a non-zero exit.
+ci: verify doclint sensvet test-race e2e fuzz-smoke bench-compare
 
 # scenarios emits per-scenario wall times (JSON) from a reduced-scale
 # engine run — the experiment-level perf trajectory.
@@ -32,20 +40,15 @@ scenarios:
 test:
 	$(GO) test ./...
 
-# test-race runs the concurrency-bearing packages under the race detector:
-# the parallel fan-out primitives, the engine's shared cache and
-# jobs-bounded scenario execution, the discrete-event simulator (whose
-# energy sink now hangs off Send/deliver), the energy subsystem, the
-# fault-injection layer whose schedules are shared across parallel scenario
-# rows, the mobility sampler whose trajectories are likewise cached and
-# replayed from parallel rows, and the serving daemon (lock-free snapshot
-# rollover, query batcher, bounded pool) with its load generator and CLI.
-# Short mode: race instrumentation makes the golden-scale suites several
-# times slower, and the data-race surface is fully exercised by the short
-# tests. The daemon's full e2e flow is excluded here (minutes under -race)
-# and covered by the dedicated e2e target.
+# test-race runs every internal and cmd package under the race detector in
+# short mode — not just a hand-picked concurrency list, so a package that
+# grows its first goroutine is covered the day it does. Short mode: race
+# instrumentation makes the golden-scale suites several times slower, and
+# the data-race surface is fully exercised by the short tests. The daemon's
+# full e2e flow is excluded here (minutes under -race) and covered by the
+# dedicated e2e target.
 test-race:
-	$(GO) test -race -short -skip 'TestE2E' ./internal/parallel ./internal/scenario ./internal/simnet ./internal/energy ./internal/fault ./internal/mobility ./internal/serve ./internal/serve/loadgen ./cmd/sensnetd
+	$(GO) test -race -short -skip 'TestE2E' ./internal/... ./cmd/...
 
 # e2e runs the daemon acceptance flow under the race detector in short
 # mode: build a 10k-point UDG-SENS snapshot over HTTP, drive a mixed

@@ -1,0 +1,76 @@
+package sensnet
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestBenchCompareStrictBaselineGate smoke-tests scripts/bench.sh --compare
+// input validation: under BENCH_STRICT=1 a missing or unparsable baseline
+// must fail fast (before the benchmark suite runs), never degrade into an
+// all-NEW comparison that waves the gate through. The test only exercises
+// the pre-suite validation paths, so it completes in milliseconds.
+func TestBenchCompareStrictBaselineGate(t *testing.T) {
+	script, err := filepath.Abs(filepath.Join("scripts", "bench.sh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(script); err != nil {
+		t.Fatalf("bench.sh not found: %v", err)
+	}
+
+	runCompare := func(baseline string) (int, string) {
+		t.Helper()
+		// The script exits during validation, long before go test -bench
+		// would start; the timeout only guards against a regression that
+		// lets an invalid baseline reach the suite.
+		cmd := exec.Command("sh", script, "--compare", baseline)
+		cmd.Env = append(os.Environ(), "BENCH_STRICT=1")
+		done := make(chan struct{})
+		var out []byte
+		var runErr error
+		go func() { out, runErr = cmd.CombinedOutput(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			_ = cmd.Process.Kill()
+			t.Fatal("bench.sh --compare did not fail fast on an invalid baseline")
+		}
+		if runErr == nil {
+			return 0, string(out)
+		}
+		ee, ok := runErr.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("running bench.sh: %v\n%s", runErr, out)
+		}
+		return ee.ExitCode(), string(out)
+	}
+
+	t.Run("missing baseline", func(t *testing.T) {
+		code, out := runCompare(filepath.Join(t.TempDir(), "absent.json"))
+		if code == 0 {
+			t.Fatalf("missing baseline accepted:\n%s", out)
+		}
+		if !strings.Contains(out, "not found") {
+			t.Errorf("missing-baseline error not reported:\n%s", out)
+		}
+	})
+
+	t.Run("unparsable baseline", func(t *testing.T) {
+		garbage := filepath.Join(t.TempDir(), "garbage.json")
+		if err := os.WriteFile(garbage, []byte("{\"benchmarks\": []}\nnot json at all\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		code, out := runCompare(garbage)
+		if code == 0 {
+			t.Fatalf("unparsable baseline accepted under BENCH_STRICT=1:\n%s", out)
+		}
+		if !strings.Contains(out, "no benchmark rows") {
+			t.Errorf("unparsable-baseline error not reported:\n%s", out)
+		}
+	})
+}

@@ -9,8 +9,10 @@
 //
 // Each argument is a package directory; an argument ending in /... is
 // walked recursively (testdata and hidden directories are skipped). With
-// no arguments it checks ./... — the whole module. _test.go files are
-// exempt. The exit status is non-zero when any exported identifier lacks
+// no arguments it checks ./... — the whole module. _test.go files and
+// generated files (a "// Code generated ... DO NOT EDIT." line before the
+// package clause, per the Go convention) are exempt. The exit status is
+// non-zero when any exported identifier lacks
 // documentation, with one "file:line: identifier" diagnostic per finding.
 //
 // The rules mirror godoc conventions: an exported function, method (on an
@@ -94,6 +96,12 @@ func lintDir(dir string) int {
 	bad := 0
 	for _, pkg := range pkgs {
 		for _, file := range pkg.Files {
+			// Generated files ("// Code generated ... DO NOT EDIT." before
+			// the package clause) are exempt: their doc comments are the
+			// generator's concern, and regenerating would erase any fixes.
+			if ast.IsGenerated(file) {
+				continue
+			}
 			for _, decl := range file.Decls {
 				bad += lintDecl(fset, decl)
 			}

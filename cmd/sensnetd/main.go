@@ -127,6 +127,8 @@ func parsePreload(spec string) (serve.BuildSpec, error) {
 			_, err = fmt.Sscanf(val, "%g", &sp.Side)
 		case "lambda":
 			_, err = fmt.Sscanf(val, "%g", &sp.Lambda)
+		case "genside":
+			_, err = fmt.Sscanf(val, "%g", &sp.GenSide)
 		case "p":
 			_, err = fmt.Sscanf(val, "%g", &sp.P)
 		case "maxchildren":

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunCleanModule pins the CI contract: sensvet ./... over the
+// repository exits 0 with no output.
+func TestRunCleanModule(t *testing.T) {
+	t.Chdir(moduleRoot(t))
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean run produced output:\n%s", stdout.String())
+	}
+}
+
+// TestRunMissingRegistry pins the failure path: a bad registry path makes
+// the gate fail, not silently pass.
+func TestRunMissingRegistry(t *testing.T) {
+	t.Chdir(moduleRoot(t))
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-registry", filepath.Join(t.TempDir(), "none.md"), "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stdout:\n%s", code, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "registry unreadable") {
+		t.Errorf("missing registry not reported:\n%s", stdout.String())
+	}
+}
+
+// TestRunDirFilter pins argument handling: findings are filtered to the
+// requested directories, so a clean subtree passes even if asked alone.
+func TestRunDirFilter(t *testing.T) {
+	t.Chdir(moduleRoot(t))
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./internal/lint"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+}
+
+// TestGenSubstreams pins the bootstrap tool: the skeleton covers the
+// registry's constant streams.
+func TestGenSubstreams(t *testing.T) {
+	t.Chdir(moduleRoot(t))
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-gen-substreams"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	for _, want := range []string{"| Stream | Owners | Purpose |", "| 2010 |", "| 4300 |"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("skeleton missing %q:\n%s", want, stdout.String())
+		}
+	}
+}
+
+// moduleRoot locates the repository root from the test's working directory.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}

@@ -153,7 +153,9 @@ func BuildUDGDistributed(pts []geom.Point, box geom.Rect, spec tiling.UDGSpec) (
 
 	// Phase 2 at t=0: region-internal ID broadcast.
 	sim.After(0, func(s *simnet.Network) {
+		//sensvet:allow detrange — enqueue order only permutes same-timestep delivery; election handlers take a max over ids, so the outcome commutes (gated by TestDistributedMatchesCentralized)
 		for _, regions := range regionPeers {
+			//sensvet:allow detrange — same broadcast: per-region sends, handlers commute
 			for _, peers := range regions {
 				for _, u := range peers {
 					for _, v := range peers {
@@ -168,6 +170,7 @@ func BuildUDGDistributed(pts []geom.Point, box geom.Rect, spec tiling.UDGSpec) (
 
 	// Phase 3 at t=2: relay winners announce to the C0 region.
 	sim.After(2, func(s *simnet.Network) {
+		//sensvet:allow detrange — announcements land in per-(tile,region) leader slots; distinct tiles write distinct slots (gated by TestDistributedMatchesCentralized)
 		for c, regions := range regionPeers {
 			c0 := regions[tiling.UC0]
 			for _, d := range tiling.Directions {
@@ -188,6 +191,7 @@ func BuildUDGDistributed(pts []geom.Point, box geom.Rect, spec tiling.UDGSpec) (
 	// by notifying each relay leader.
 	goodTiles := map[tiling.Coord]bool{}
 	sim.After(4, func(s *simnet.Network) {
+		//sensvet:allow detrange — reads relay tables finalized at t=2; goodTiles stores are keyed by tile and tileGood handlers commute
 		for c, regions := range regionPeers {
 			rep := winner(regions[tiling.UC0])
 			if rep < 0 {
@@ -213,6 +217,7 @@ func BuildUDGDistributed(pts []geom.Point, box geom.Rect, spec tiling.UDGSpec) (
 
 	// Phase 5 at t=6: cross-boundary handshakes between good tiles.
 	sim.After(6, func(s *simnet.Network) {
+		//sensvet:allow detrange — handshake edges go through the counting-sort CSR build (insertion-order independent); attempt/failure stats are commutative counters
 		for c := range goodTiles {
 			for _, d := range []tiling.Direction{tiling.Right, tiling.Top} {
 				nc := c.Neighbor(d)
@@ -233,6 +238,7 @@ func BuildUDGDistributed(pts []geom.Point, box geom.Rect, spec tiling.UDGSpec) (
 	sim.Run(0)
 
 	// Assemble the Network view (tile table mirrors what the nodes decided).
+	//sensvet:allow detrange — each tile's table entry is computed from that tile's own regions and stored by key
 	for c, regions := range regionPeers {
 		tn := &TileNodes{Rep: winner(regions[tiling.UC0]), Population: 0}
 		for _, peers := range regions {

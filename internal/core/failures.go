@@ -79,6 +79,7 @@ func SimulateFailures(n *Network, q float64, rng *rand.Rand) (*FailureReport, er
 // connected but ended up outside the largest component, by tile.
 func (n *Network) SmallComponentWaste() (nodes int, tiles int) {
 	seen := map[tiling.Coord]bool{}
+	//sensvet:allow detrange — Degree and InNet are read-only lookups; nodes/tiles are commutative counts
 	for c, tn := range n.Tiles {
 		if !tn.Good {
 			continue

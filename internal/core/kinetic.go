@@ -122,6 +122,7 @@ func NewKinetic(n *Network, opt Options) (*Kinetic, error) {
 		cp := *tn
 		k.tiles[c] = &cp
 	}
+	//sensvet:allow detrange — each tile's contribution reads only final elected state; stores are keyed by tile
 	for c := range k.tiles {
 		if e := k.contribution(c, nil); len(e) > 0 {
 			k.contrib[c] = e
@@ -314,9 +315,11 @@ func (k *Kinetic) repair() {
 	if len(k.dirty) == 0 {
 		return
 	}
+	//sensvet:allow detrange — re-election reads only the tile's own membership; stores are keyed by tile
 	for c := range k.dirty {
 		k.recomputeTile(c)
 	}
+	//sensvet:allow detrange — pure set union: inserting a tile and its two fixed neighbors commutes
 	for c := range k.dirty {
 		k.cdirty[c] = struct{}{}
 		k.cdirty[c.Neighbor(tiling.Left)] = struct{}{}
@@ -324,6 +327,7 @@ func (k *Kinetic) repair() {
 	}
 	clear(k.dirty)
 	k.swaps = k.swaps[:0]
+	//sensvet:allow detrange — contributions are per-tile and disjoint; swaps apply retract-before-emit, so delta state and stats are order-independent
 	for c := range k.cdirty {
 		next := k.contribution(c, nil)
 		if edgeListsEqual(k.contrib[c], next) {

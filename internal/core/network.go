@@ -185,6 +185,7 @@ func (n *Network) MaxDegree() int { return n.Graph.MaxDegree() }
 func (n *Network) finalize(b *graph.Builder) {
 	if n.Map.Tiles() > 0 {
 		n.Lat = lattice.New(n.Map.W, n.Map.H)
+		//sensvet:allow detrange — Phi is a pure coordinate map; each tile sets only its own lattice cell
 		for c, tn := range n.Tiles {
 			if x, y, ok := n.Map.Phi(c); ok && tn.Good {
 				n.Lat.Set(x, y, true)

@@ -145,7 +145,9 @@ func BuildNNDistributed(pts []geom.Point, box geom.Rect, spec tiling.NNSpec) (*D
 
 	// t=0: elections in all nine regions.
 	sim.After(0, func(s *simnet.Network) {
+		//sensvet:allow detrange — enqueue order only permutes same-timestep delivery; election handlers take a max over ids, so the outcome commutes (gated by TestNNDistributedMatchesCentralized)
 		for _, regions := range regionPeers {
+			//sensvet:allow detrange — same broadcast: per-region sends, handlers commute
 			for _, peers := range regions {
 				for _, u := range peers {
 					for _, v := range peers {
@@ -160,6 +162,7 @@ func BuildNNDistributed(pts []geom.Point, box geom.Rect, spec tiling.NNSpec) (*D
 
 	// t=2: representative-elect announces to the whole tile.
 	sim.After(2, func(s *simnet.Network) {
+		//sensvet:allow detrange — each tile's rep announces to that tile's own nodes; census counting commutes
 		for c, regions := range regionPeers {
 			rep := winner(regions[tiling.NC0])
 			if rep < 0 {
@@ -176,6 +179,7 @@ func BuildNNDistributed(pts []geom.Point, box geom.Rect, spec tiling.NNSpec) (*D
 
 	// t=4: relay winners announce their regions to the representative.
 	sim.After(4, func(s *simnet.Network) {
+		//sensvet:allow detrange — leader announcements land in per-(rep,region) slots; distinct tiles write distinct slots
 		for _, regions := range regionPeers {
 			rep := winner(regions[tiling.NC0])
 			if rep < 0 {
@@ -196,6 +200,7 @@ func BuildNNDistributed(pts []geom.Point, box geom.Rect, spec tiling.NNSpec) (*D
 
 	// t=6: goodness decision and relay-table distribution.
 	sim.After(6, func(s *simnet.Network) {
+		//sensvet:allow detrange — goodness reads per-rep state finalized at t=4; goodTiles stores are keyed by tile and table handlers commute
 		for c, regions := range regionPeers {
 			rep := winner(regions[tiling.NC0])
 			if rep < 0 {
@@ -222,6 +227,7 @@ func BuildNNDistributed(pts []geom.Point, box geom.Rect, spec tiling.NNSpec) (*D
 
 	// t=8: cross-boundary handshakes (initiated toward Right and Top).
 	sim.After(8, func(s *simnet.Network) {
+		//sensvet:allow detrange — handshake edges go through the counting-sort CSR build (insertion-order independent)
 		for c := range goodTiles {
 			for _, d := range []tiling.Direction{tiling.Right, tiling.Top} {
 				nc := c.Neighbor(d)
@@ -240,6 +246,7 @@ func BuildNNDistributed(pts []geom.Point, box geom.Rect, spec tiling.NNSpec) (*D
 	sim.Run(0)
 
 	// Assemble the Network view.
+	//sensvet:allow detrange — each tile's table entry is computed from that tile's own regions and stored by key
 	for c, regions := range regionPeers {
 		tn := &TileNodes{Rep: winner(regions[tiling.NC0])}
 		tn.Population = len(tileNodes[c])

@@ -55,6 +55,7 @@ func BuildNN(pts []geom.Point, box geom.Rect, spec tiling.NNSpec, opt Options) (
 	var regionIDs [9][]int32
 	var local []geom.Point
 	var esc election.Scratch
+	//sensvet:allow detrange — each tile's election reads only that tile's points; scratch is reset per iteration, stats are commutative counters, stores are keyed by tile
 	for c, idx := range groups {
 		local = tiling.LocalPoints(n.Map, c, pts, idx, local)
 		for r := range regionIDs {
@@ -89,6 +90,7 @@ func BuildNN(pts []geom.Point, box geom.Rect, spec tiling.NNSpec, opt Options) (
 
 	// Connections: the five-edge path per adjacent good pair.
 	b := graph.NewBuilder(len(pts))
+	//sensvet:allow detrange — edge emission order is canonicalized by the counting-sort CSR build; path stats are commutative counters
 	for c, tn := range n.Tiles {
 		if !tn.Good {
 			continue

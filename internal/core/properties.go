@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"math/rand/v2"
+	"sort"
 
 	"repro/internal/geom"
 	"repro/internal/graph"
@@ -126,20 +127,36 @@ func (n *Network) DegreeHistogram() []int {
 }
 
 // AdjacentGoodPairs returns all pairs of horizontally/vertically adjacent
-// good tiles — the open edges of the coupled percolated mesh.
+// good tiles — the open edges of the coupled percolated mesh. Pairs come
+// back sorted by first-tile (I, J) then direction, so the listing is
+// deterministic even though the tile table is a map.
 func (n *Network) AdjacentGoodPairs() [][2]tiling.Coord {
 	var out [][2]tiling.Coord
 	for c, tn := range n.Tiles {
 		if !tn.Good {
 			continue
 		}
-		for _, d := range []tiling.Direction{tiling.Right, tiling.Top} {
-			nc := c.Neighbor(d)
+		// Right and Top neighbors, spelled as offsets so the loop body stays
+		// call-free (detrange's collect-then-sort form).
+		for _, nc := range [2]tiling.Coord{{I: c.I + 1, J: c.J}, {I: c.I, J: c.J + 1}} {
 			if nb, ok := n.Tiles[nc]; ok && nb.Good {
 				out = append(out, [2]tiling.Coord{c, nc})
 			}
 		}
 	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a[0] != b[0] {
+			if a[0].I != b[0].I {
+				return a[0].I < b[0].I
+			}
+			return a[0].J < b[0].J
+		}
+		if a[1].I != b[1].I {
+			return a[1].I < b[1].I
+		}
+		return a[1].J < b[1].J
+	})
 	return out
 }
 

@@ -57,6 +57,7 @@ func BuildUDG(pts []geom.Point, box geom.Rect, spec tiling.UDGSpec, opt Options)
 	var regionIDs [5][]int32 // C0, relay right/left/top/bottom
 	var local []geom.Point
 	var esc election.Scratch
+	//sensvet:allow detrange — each tile's election reads only that tile's points; scratch is reset per iteration, stats are commutative counters, stores are keyed by tile
 	for c, idx := range groups {
 		local = tiling.LocalPoints(n.Map, c, pts, idx, local)
 		for r := range regionIDs {
@@ -97,6 +98,7 @@ func BuildUDG(pts []geom.Point, box geom.Rect, spec tiling.UDGSpec, opt Options)
 	// repaired mode treats a failure as a construction bug.
 	requireBase := spec.Mode == tiling.GeometryRelaxed
 	b := graph.NewBuilder(len(pts))
+	//sensvet:allow detrange — edge emission order is canonicalized by the counting-sort CSR build; handshake stats are commutative counters
 	for c, tn := range n.Tiles {
 		if !tn.Good {
 			continue

@@ -161,9 +161,10 @@ func NewKinetic(h *Graph, box geom.Rect) *Kinetic {
 		k.relink(u, k.dirty)
 	}
 	clear(k.dirty)
-	for key, g := range k.groups {
-		k.recomputeGroup(key, g)
+	for key := range k.groups {
+		k.dirty[key] = struct{}{}
 	}
+	k.flushDirty()
 	k.rebuildMST()
 	k.init = false
 	k.stats = KineticStats{}

@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// detclockAllowed reports whether a package may read wall clocks and global
+// randomness: the serving layer's metrics/timing surface, its load
+// generator, and the CLIs' wall-time reporting. Simulation and measurement
+// paths are never allowed — a result byte must not depend on the clock or
+// on unseeded randomness.
+func detclockAllowed(rel string) bool {
+	return rel == "internal/serve" || rel == "internal/serve/loadgen" ||
+		rel == "cmd" || strings.HasPrefix(rel, "cmd/")
+}
+
+// clockFuncs are the time package's wall-clock reads that leak
+// nondeterminism into anything derived from them.
+var clockFuncs = map[string]bool{"Now": true, "Since": true}
+
+// randAllowed are the math/rand selectors that do NOT touch the global
+// generator: explicit-source constructors and type names. Everything else
+// (Int, IntN, N, Float64, Shuffle, Perm, Seed, ...) draws from or reseeds
+// global state and is flagged.
+var randAllowed = map[string]bool{
+	"New": true, "NewPCG": true, "NewChaCha8": true, "NewSource": true,
+	"NewZipf": true, "Rand": true, "Source": true, "PCG": true,
+	"ChaCha8": true, "Zipf": true,
+}
+
+// detclock flags time.Now / time.Since and global math/rand usage outside
+// the allowlist. Resolution is by import: a file importing "time" or
+// "math/rand"/"math/rand/v2" has the flagged selectors matched against the
+// import's local name, with types.Info confirming the receiver is the
+// package (not a shadowing local) when available.
+func detclock(mod *Module) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range mod.Pkgs {
+		if detclockAllowed(mod.Rel(pkg)) {
+			continue
+		}
+		out = append(out, detclockPkg(mod, pkg)...)
+	}
+	return out
+}
+
+// detclockPkg runs the wall-clock/global-rand rule over one package.
+func detclockPkg(mod *Module, pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		timeName := importLocalName(f, "time")
+		randName := importLocalName(f, "math/rand")
+		if randName == "" {
+			randName = importLocalName(f, "math/rand/v2")
+		}
+		if timeName == "" && randName == "" {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			x, ok := sel.X.(*ast.Ident)
+			if !ok || !isPackageIdent(pkg, x) {
+				return true
+			}
+			switch {
+			case timeName != "" && x.Name == timeName && clockFuncs[sel.Sel.Name]:
+				out = append(out, Diagnostic{
+					Pos:  mod.Fset.Position(sel.Pos()),
+					Rule: "detclock",
+					Msg: fmt.Sprintf("wall-clock read %s.%s outside the measurement allowlist: results must not depend on real time",
+						x.Name, sel.Sel.Name),
+				})
+			case randName != "" && x.Name == randName && !randAllowed[sel.Sel.Name]:
+				out = append(out, Diagnostic{
+					Pos:  mod.Fset.Position(sel.Pos()),
+					Rule: "detclock",
+					Msg: fmt.Sprintf("global math/rand use %s.%s: draw from an explicit rng.Sub substream instead",
+						x.Name, sel.Sel.Name),
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// importLocalName returns the name the file refers to the import path by
+// ("" when not imported, the last path element — version suffix collapsed —
+// when unnamed).
+func importLocalName(f *ast.File, path string) string {
+	for _, imp := range f.Imports {
+		if strings.Trim(imp.Path.Value, `"`) != path {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "_" || imp.Name.Name == "." {
+				return ""
+			}
+			return imp.Name.Name
+		}
+		name := path[strings.LastIndex(path, "/")+1:]
+		if len(name) > 1 && name[0] == 'v' && strings.TrimLeft(name[1:], "0123456789") == "" {
+			trimmed := path[:strings.LastIndex(path, "/")]
+			name = trimmed[strings.LastIndex(trimmed, "/")+1:]
+		}
+		return name
+	}
+	return ""
+}
+
+// isPackageIdent reports whether id denotes an imported package (rather
+// than a shadowing local). Without type information it errs on the side of
+// flagging (returns true).
+func isPackageIdent(pkg *Package, id *ast.Ident) bool {
+	if pkg.Info == nil {
+		return true
+	}
+	obj, ok := pkg.Info.Uses[id]
+	if !ok || obj == nil {
+		return true // unresolved (shim import): assume the package
+	}
+	_, isPkg := obj.(*types.PkgName)
+	return isPkg
+}

@@ -1,0 +1,13 @@
+// Command tool is the fixture CLI: wall-time reporting is allowed in
+// cmd packages.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	start := time.Now()
+	fmt.Println(time.Since(start))
+}

@@ -1,0 +1,23 @@
+package core
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+// flagClock reads the wall clock inside a result-producing package.
+func flagClock() float64 {
+	start := time.Now()    // want detclock
+	d := time.Since(start) // want detclock
+	return d.Seconds()
+}
+
+// flagGlobalRand draws from the global math/rand generator.
+func flagGlobalRand() int {
+	return rand.IntN(10) // want detclock
+}
+
+// okSeededRand builds an explicit generator — deterministic.
+func okSeededRand() *rand.Rand {
+	return rand.New(rand.NewPCG(1, 2))
+}

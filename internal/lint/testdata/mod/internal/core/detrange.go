@@ -1,0 +1,125 @@
+// Package core is the fixture corpus for the detrange analyzer: each
+// function is one loop shape, flagged or exempt.
+package core
+
+import "sort"
+
+// flagStringConcat builds a string in map order — order-sensitive.
+func flagStringConcat(m map[string]int) string {
+	s := ""
+	for k := range m { // want detrange
+		s += k
+	}
+	return s
+}
+
+// flagCallInBody calls an arbitrary function per key — unprovable.
+func flagCallInBody(m map[string]int) {
+	for k := range m { // want detrange
+		process(k)
+	}
+}
+
+// flagAppendNoSort collects in map order and never sorts.
+func flagAppendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want detrange
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// flagBreak stops after a nondeterministic subset of iterations.
+func flagBreak(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want detrange
+		total += v
+		if total > 10 {
+			break
+		}
+	}
+	return total
+}
+
+// okCounter accumulates commutatively.
+func okCounter(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// okMax folds with max.
+func okMax(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		best = max(best, v)
+	}
+	return best
+}
+
+// okKeyedStore writes distinct slots per key, through a selector chain.
+func okKeyedStore(m map[string]int, dst *holder) {
+	for k, v := range m {
+		dst.out[k] = v * 2
+	}
+}
+
+// okCollectSort collects then sorts in the same block.
+func okCollectSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// okGuardedCollectSort collects under an if-init guard with a nested loop.
+func okGuardedCollectSort(m map[string]map[string]bool) []string {
+	var keys []string
+	for k := range m {
+		if inner, ok := m[k]; ok && len(inner) > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// okDelete removes entries — removals commute.
+func okDelete(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// okLocals mutates only iteration-local state plus a max fold.
+func okLocals(m map[string][]int) int {
+	best := 0
+	for _, vs := range m {
+		t := 0
+		for _, v := range vs {
+			t += v
+		}
+		best = max(best, t)
+	}
+	return best
+}
+
+// waivedCollect is order-sensitive but carries a reasoned waiver.
+func waivedCollect(m map[string]int) []string {
+	var keys []string
+	//sensvet:allow detrange — fixture: callers treat the listing as a set
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+type holder struct{ out map[string]int }
+
+func process(string) {}

@@ -1,0 +1,24 @@
+// Package experiments is the fixture corpus for the substreams analyzer:
+// registered, colliding, missing, wrapper-propagated and helper-position
+// stream constants, checked against docs/substreams.md in this module.
+package experiments
+
+import (
+	"fixture/internal/rng"
+	"fixture/internal/scenario"
+)
+
+// run exercises every substream shape in one place.
+func run(ctx *scenario.Ctx, seed uint64) {
+	_ = rng.Sub(seed, 5)  // registered to exp.go
+	_ = rng.Sub(seed, 7)  // want substreams — registered to other.go only
+	_ = rng.Sub(seed, 11) // want substreams — not in the registry
+	viaWrapper(seed, 13) // registered via the wrapper — proves propagation
+	_ = ctx.Deploy(21, 1.0, 1.0)
+}
+
+// viaWrapper forwards its stream parameter into rng.Sub, so constant
+// arguments at its call sites register as stream uses.
+func viaWrapper(seed, stream uint64) {
+	_ = rng.Sub(seed, stream)
+}

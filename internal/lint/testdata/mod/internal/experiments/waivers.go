@@ -1,0 +1,10 @@
+// The waiver fixtures: malformed, unknown-rule and stale waivers all
+// produce waiverlint findings; the valid used waiver lives in core.
+package experiments
+
+//sensvet:allow detrange // want waiverlint (malformed: no reason separator)
+
+//sensvet:allow nosuchrule — bogus rule name // want waiverlint
+
+//sensvet:allow detclock — nothing on the next line reads a clock, so this is stale // want waiverlint
+var quiet = 0

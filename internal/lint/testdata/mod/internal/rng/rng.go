@@ -1,0 +1,5 @@
+// Package rng is the fixture stand-in for the real substream helpers.
+package rng
+
+// Sub mimics the real substream derivation signature.
+func Sub(seed, stream uint64) uint64 { return seed ^ stream }

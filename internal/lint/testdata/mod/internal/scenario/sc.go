@@ -1,0 +1,13 @@
+// Package scenario is the fixture stand-in for the real cache helpers.
+package scenario
+
+// Deployment mirrors the real cached-deployment handle.
+type Deployment struct{ Key string }
+
+// Ctx mirrors the real scenario context.
+type Ctx struct{}
+
+// Deploy mirrors the real helper: argument 0 is a substream number.
+func (c *Ctx) Deploy(stream uint64, side, lambda float64) Deployment {
+	return Deployment{}
+}

@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// waiverPrefix introduces a suppression comment:
+//
+//	//sensvet:allow <rule> — <reason>
+//
+// placed on the flagged line or the line immediately above it. The rule
+// must be one of Rules() and the reason is mandatory — a waiver is a
+// documented exception, not an off switch. "--" is accepted in place of
+// the em dash.
+const waiverPrefix = "//sensvet:allow"
+
+// waiver is one parsed //sensvet:allow comment.
+type waiver struct {
+	Pos    token.Position
+	Rule   string
+	Reason string
+	// Malformed carries the parse problem ("" when well-formed).
+	Malformed string
+	// used is set when the waiver suppressed at least one diagnostic.
+	used bool
+}
+
+// scanWaivers collects every //sensvet:allow comment in the module.
+func scanWaivers(mod *Module) []*waiver {
+	var out []*waiver
+	for _, pkg := range mod.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, waiverPrefix) {
+						continue
+					}
+					w := parseWaiver(c.Text)
+					w.Pos = mod.Fset.Position(c.Pos())
+					out = append(out, w)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// parseWaiver splits a waiver comment into rule and reason, recording what
+// is wrong with it when malformed.
+func parseWaiver(text string) *waiver {
+	rest := strings.TrimSpace(strings.TrimPrefix(text, waiverPrefix))
+	var sep string
+	for _, s := range []string{"—", "--"} {
+		if strings.Contains(rest, s) {
+			sep = s
+			break
+		}
+	}
+	if sep == "" {
+		return &waiver{Malformed: "missing ' — <reason>' (a waiver must say why)"}
+	}
+	rulePart, reason, _ := strings.Cut(rest, sep)
+	rule := strings.TrimSpace(rulePart)
+	reason = strings.TrimSpace(reason)
+	w := &waiver{Rule: rule, Reason: reason}
+	switch {
+	case rule == "":
+		w.Malformed = "missing rule name before the dash"
+	case !validRule(rule):
+		w.Malformed = fmt.Sprintf("unknown rule %q (want one of %s)", rule, strings.Join(Rules(), ", "))
+	case reason == "":
+		w.Malformed = "empty reason (a waiver must say why)"
+	}
+	return w
+}
+
+// validRule reports whether name is a shipped analyzer.
+func validRule(name string) bool {
+	for _, r := range Rules() {
+		if r == name {
+			return true
+		}
+	}
+	return false
+}
+
+// applyWaivers drops every diagnostic covered by a well-formed waiver for
+// its rule on the same line or the line above, marking those waivers used.
+func applyWaivers(diags []Diagnostic, waivers []*waiver) []Diagnostic {
+	kept := diags[:0]
+	for _, d := range diags {
+		suppressed := false
+		for _, w := range waivers {
+			if w.Malformed != "" || w.Rule != d.Rule || w.Pos.Filename != d.Pos.Filename {
+				continue
+			}
+			if w.Pos.Line == d.Pos.Line || w.Pos.Line == d.Pos.Line-1 {
+				w.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// waiverlint reports malformed waivers and stale ones — waivers whose rule
+// no longer fires on the covered line, so the allowlist can only shrink.
+func waiverlint(waivers []*waiver) []Diagnostic {
+	var out []Diagnostic
+	for _, w := range waivers {
+		switch {
+		case w.Malformed != "":
+			out = append(out, Diagnostic{
+				Pos:  w.Pos,
+				Rule: "waiverlint",
+				Msg:  "malformed waiver: " + w.Malformed,
+			})
+		case !w.used:
+			out = append(out, Diagnostic{
+				Pos:  w.Pos,
+				Rule: "waiverlint",
+				Msg:  fmt.Sprintf("stale waiver: %s no longer fires here — delete the comment", w.Rule),
+			})
+		}
+	}
+	return out
+}

@@ -118,6 +118,24 @@ func (c *Ctx) Deploy(stream uint64, box geom.Rect, lambda float64) Deployment {
 	return Deployment{Key: key, Box: box, Pts: pts}
 }
 
+// DeploySoA returns the streamed (tile-generated) Poisson deployment for
+// substream stream: pointprocess.PoissonSoA draws each generation tile of
+// side genSide from its own derived substream, so the result is
+// cache-eligible (every tile substream is consumed entirely; see
+// docs/scenarios.md §3). genSide is part of the identity — it changes the
+// tile boundaries and therefore which substream each point is drawn from —
+// so it joins the cache key: two genSide values at equal (seed, stream,
+// box, λ) are distinct deployments and must miss each other in the cache.
+// The SoA seed is Derive(seed, stream), not the raw seed, so tile
+// substreams cannot collide with scenario stream numbers.
+func (c *Ctx) DeploySoA(stream uint64, box geom.Rect, lambda, genSide float64) Deployment {
+	key := fmt.Sprintf("poissonsoa|s=%d|st=%d|box=%v|l=%v|g=%v", c.Cfg.Seed, stream, box, lambda, genSide)
+	pts := Get(c.Cache, key, func() []geom.Point {
+		return pointprocess.PoissonSoA(box, lambda, rng.Derive(c.Cfg.Seed, stream), genSide).Points(nil)
+	})
+	return Deployment{Key: key, Box: box, Pts: pts}
+}
+
 // DeployGradient returns the inhomogeneous deployment whose intensity ramps
 // linearly from lambda0 to lambda1 across box (E18's model), cached like
 // Deploy.

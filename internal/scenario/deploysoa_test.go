@@ -1,0 +1,82 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/pointprocess"
+	"repro/internal/rng"
+)
+
+// TestDeploySoAGenSideInKey is the regression test for the streamed
+// deployment's cache identity: genSide changes generation-tile boundaries
+// and therefore which derived substream every point is drawn from, so two
+// genSide values at identical (seed, stream, box, λ) must be distinct
+// cache entries — not a hit returning the other realization's points.
+func TestDeploySoAGenSideInKey(t *testing.T) {
+	ctx := &Ctx{Cfg: Config{Seed: 7}, Cache: NewCache()}
+	box := geom.Box(12, 12)
+
+	a := ctx.DeploySoA(40, box, 4, 3.0)
+	b := ctx.DeploySoA(40, box, 4, 6.0)
+	if a.Key == b.Key {
+		t.Fatalf("genSide not in cache key: both deployments share %q", a.Key)
+	}
+	if st := ctx.Cache.Stats(); st.Misses != 2 || st.Entries != 2 {
+		t.Fatalf("two genSide values should be two cache entries, got %+v", st)
+	}
+	if len(a.Pts) == len(b.Pts) {
+		same := true
+		for i := range a.Pts {
+			if a.Pts[i] != b.Pts[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different genSide produced identical point sets — cache served the wrong realization")
+		}
+	}
+
+	// Same genSide again: a hit, byte-identical points.
+	c := ctx.DeploySoA(40, box, 4, 3.0)
+	if st := ctx.Cache.Stats(); st.Hits != 1 {
+		t.Fatalf("repeat lookup should hit, got %+v", st)
+	}
+	if len(c.Pts) != len(a.Pts) {
+		t.Fatalf("cache hit returned %d points, first build %d", len(c.Pts), len(a.Pts))
+	}
+}
+
+// TestDeploySoAMatchesDirect pins the helper to the underlying generator:
+// the cached deployment is exactly PoissonSoA at the derived seed.
+func TestDeploySoAMatchesDirect(t *testing.T) {
+	ctx := &Ctx{Cfg: Config{Seed: 7}, Cache: NewCache()}
+	box := geom.Box(12, 12)
+	got := ctx.DeploySoA(41, box, 4, 3.0)
+	want := pointprocess.PoissonSoA(box, 4, rng.Derive(7, 41), 3.0).Points(nil)
+	if len(got.Pts) != len(want) {
+		t.Fatalf("DeploySoA returned %d points, direct build %d", len(got.Pts), len(want))
+	}
+	for i := range want {
+		if got.Pts[i] != want[i] {
+			t.Fatalf("point %d differs: %v vs %v", i, got.Pts[i], want[i])
+		}
+	}
+}
+
+// TestDeploySoADistinctFromSerial guards the key namespace: the streamed
+// deployment never collides with the serial Deploy cache entry for the
+// same (seed, stream, box, λ).
+func TestDeploySoADistinctFromSerial(t *testing.T) {
+	ctx := &Ctx{Cfg: Config{Seed: 7}, Cache: NewCache()}
+	box := geom.Box(12, 12)
+	serial := ctx.Deploy(42, box, 4)
+	streamed := ctx.DeploySoA(42, box, 4, 3.0)
+	if serial.Key == streamed.Key {
+		t.Fatalf("serial and streamed deployments share key %q", serial.Key)
+	}
+	if st := ctx.Cache.Stats(); st.Entries != 2 {
+		t.Fatalf("expected two entries, got %+v", st)
+	}
+}

@@ -30,6 +30,13 @@ type BuildSpec struct {
 	// intensity (default 16).
 	Side   float64 `json:"side"`
 	Lambda float64 `json:"lambda"`
+	// GenSide, when positive, switches the deployment to the streamed
+	// tile-generated Poisson path (pointprocess.PoissonSoA) with generation
+	// tiles of this side. It is part of the snapshot identity: tile
+	// boundaries decide which derived substream each point is drawn from,
+	// so two GenSide values are different point sets. 0 (default) keeps
+	// the serial single-stream deployment and the historical key shape.
+	GenSide float64 `json:"genSide"`
 	// Mode picks the UDG-SENS tile geometry: "literal", "repaired"
 	// (default) or "relaxed". Ignored for HNG.
 	Mode string `json:"mode"`
@@ -59,6 +66,9 @@ func (sp *BuildSpec) normalize() error {
 	}
 	if sp.Side < 0 || sp.Lambda < 0 {
 		return fmt.Errorf("side and lambda must be positive (side=%v, lambda=%v)", sp.Side, sp.Lambda)
+	}
+	if sp.GenSide < 0 {
+		return fmt.Errorf("genSide must be >= 0 (got %v)", sp.GenSide)
 	}
 	if sp.Mode == "" {
 		sp.Mode = "repaired"
@@ -102,6 +112,11 @@ func udgSpecFor(mode string) (tiling.UDGSpec, error) {
 func (sp *BuildSpec) Key() string {
 	box := geom.Box(sp.Side, sp.Side)
 	dep := fmt.Sprintf("poisson|s=%d|st=%d|box=%v|l=%v", sp.Seed, sp.Stream, box, sp.Lambda)
+	if sp.GenSide > 0 {
+		// The streamed deployment is a different point process realization:
+		// genSide joins the key (same shape as scenario.Ctx.DeploySoA).
+		dep = fmt.Sprintf("poissonsoa|s=%d|st=%d|box=%v|l=%v|g=%v", sp.Seed, sp.Stream, box, sp.Lambda, sp.GenSide)
+	}
 	switch sp.Kind {
 	case "udg":
 		spec, _ := udgSpecFor(sp.Mode)
@@ -132,7 +147,15 @@ func Build(sp BuildSpec) (*Snapshot, error) {
 	}
 	start := time.Now()
 	box := geom.Box(sp.Side, sp.Side)
-	pts := pointprocess.Poisson(box, sp.Lambda, rng.Sub(rng.Seed(sp.Seed), sp.Stream))
+	var pts []geom.Point
+	if sp.GenSide > 0 {
+		// Streamed tile-generated deployment: the SoA seed is derived from
+		// (seed, stream) so per-tile substreams cannot collide with scenario
+		// stream numbers of the same seed.
+		pts = pointprocess.PoissonSoA(box, sp.Lambda, rng.Derive(rng.Seed(sp.Seed), sp.Stream), sp.GenSide).Points(nil)
+	} else {
+		pts = pointprocess.Poisson(box, sp.Lambda, rng.Sub(rng.Seed(sp.Seed), sp.Stream))
+	}
 
 	s := &Snapshot{Pts: pts, slabs: power.NewSlabCacheLRU(sp.SlabCap)}
 	key := sp.Key()

@@ -105,6 +105,18 @@ if [ "${1:-}" = "--compare" ]; then
         echo "bench.sh: baseline $baseline not found (run 'make baseline' first)" >&2
         exit 1
     fi
+    # Validate the baseline BEFORE spending minutes on the suite: a baseline
+    # with no benchmark rows (truncated write, wrong file, merge damage)
+    # would label every fresh benchmark NEW and wave the strict gate through
+    # vacuously green. Advisory runs warn and continue; BENCH_STRICT=1 fails
+    # here, fast.
+    if ! grep -q '"name"' "$baseline"; then
+        echo "bench.sh: baseline $baseline has no benchmark rows (unparsable or truncated)" >&2
+        if [ "${BENCH_STRICT:-0}" = "1" ]; then
+            echo "bench.sh: BENCH_STRICT=1 and baseline is unusable" >&2
+            exit 1
+        fi
+    fi
     fresh="$(mktemp)"
     cmp="$(mktemp)"
     run_suite "$fresh"
